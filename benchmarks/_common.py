@@ -1,0 +1,100 @@
+"""Shared infrastructure for the paper-reproduction benches.
+
+Every bench regenerates one table or figure of the paper: it runs the
+relevant simulations, prints the same rows/series the paper reports,
+and asserts the qualitative shape.  Scale is controlled by
+``REPRO_BENCH_FULL=1`` (paper-scale runs) versus the default reduced
+scale that keeps the full bench suite in the tens of minutes.
+
+Workload builds are cached per (name, cores, accesses, superpages,
+seed, smt) so the many configurations of one figure reuse one trace.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim import configs as cfg
+from repro.sim.engine import ShootdownTraffic, StormConfig, simulate
+from repro.sim.run import Comparison, compare
+from repro.workloads.generators import build_multiprogrammed, build_multithreaded
+from repro.workloads.registry import WORKLOAD_NAMES, WORKLOADS, get_workload
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+#: Accesses per core for the standard per-workload figures.
+ACCESSES = 12_000 if FULL_SCALE else 5_000
+#: Reduced workload roster for the heaviest sweeps.
+HEAVY_WORKLOADS = (
+    list(WORKLOAD_NAMES)
+    if FULL_SCALE
+    else ["graph500", "canneal", "xsbench", "olio", "gups"]
+)
+SEED = 11
+
+
+@lru_cache(maxsize=64)
+def workload(
+    name: str,
+    cores: int,
+    accesses: int = ACCESSES,
+    superpages: bool = True,
+    seed: int = SEED,
+    smt: int = 1,
+):
+    return build_multithreaded(
+        get_workload(name),
+        cores,
+        accesses_per_core=accesses,
+        seed=seed,
+        superpages=superpages,
+        smt=smt,
+    )
+
+
+@lru_cache(maxsize=32)
+def multiprog_workload(
+    names: Tuple[str, ...],
+    cores: int,
+    accesses: int,
+    seed: int = SEED,
+):
+    specs = tuple(WORKLOADS[name] for name in names)
+    return build_multiprogrammed(
+        specs, cores, accesses_per_core=accesses, seed=seed
+    )
+
+
+def run_lineup(
+    name: str,
+    cores: int,
+    configurations: Sequence[cfg.SystemConfig],
+    accesses: int = ACCESSES,
+    superpages: bool = True,
+    **simulate_kwargs,
+) -> Comparison:
+    wl = workload(name, cores, accesses, superpages)
+    return compare(wl, configurations, **simulate_kwargs)
+
+
+def once(benchmark, fn):
+    """Run a whole-experiment function exactly once under
+    pytest-benchmark (simulations are far too heavy for repeated
+    rounds; the bench's product is the printed table)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, text: str) -> None:
+    """Print a bench's paper-style table and persist it under
+    ``benchmarks/results/<name>.txt`` so the artefact survives output
+    capture."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{name}\n{banner}\n{text}")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")

@@ -1,0 +1,9 @@
+"""Bench-suite fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _announce(request):
+    """Print a separator per bench so -s output is readable."""
+    yield

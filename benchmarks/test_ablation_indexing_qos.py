@@ -1,0 +1,100 @@
+"""Ablations of the shared-TLB extensions:
+
+* **Slice indexing** (§III-A's "optimized indexing mechanisms"): the
+  paper's modulo indexing collapses under power-of-two strides — the
+  slice-hammer microbenchmark maps *every* access to one slice.  An
+  XOR-fold hash spreads the same pattern across all slices and defuses
+  the attack, at no cost on well-behaved workloads.
+* **QoS way-partitioning** (the paper's stated future work for
+  multiprogrammed interference): capping the ways any ASID may occupy
+  per set protects a mix's victim applications from a thrashing
+  neighbour.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.tables import render_table
+from repro.sim import configs as cfg
+from repro.sim.engine import simulate
+from repro.sim.run import compare
+from repro.workloads.microbench import build_slice_hammer
+
+from _common import ACCESSES, multiprog_workload, once, report, workload
+
+CORES = 16
+
+
+def run():
+    # --- Indexing under the slice hammer -----------------------------
+    hammer = build_slice_hammer(CORES, accesses_per_core=3_000)
+    private_cycles = simulate(cfg.private(CORES), hammer).cycles
+    index_rows = []
+    for indexing in ("modulo", "xor-fold"):
+        config = replace(
+            cfg.nocstar(CORES), slice_indexing=indexing, name=indexing
+        )
+        result = simulate(config, hammer)
+        intervals_config = replace(config, name=indexing)
+        index_rows.append(
+            [indexing, private_cycles / result.cycles]
+        )
+
+    # Indexing on a well-behaved workload: should be a wash.
+    wl = workload("graph500", CORES, ACCESSES)
+    base = simulate(cfg.private(CORES), wl)
+    normal_rows = []
+    for indexing in ("modulo", "xor-fold"):
+        config = replace(
+            cfg.nocstar(CORES), slice_indexing=indexing, name=indexing
+        )
+        normal_rows.append(
+            [indexing, base.cycles / simulate(config, wl).cycles]
+        )
+
+    # --- QoS partitioning on a hostile mix ----------------------------
+    mix = multiprog_workload(
+        ("gups", "canneal", "olio", "nutch"), CORES, 3_000
+    )
+    qos_rows = []
+    for quota, label in ((None, "no QoS"), (4, "quota 4"), (2, "quota 2")):
+        config = replace(
+            cfg.nocstar(CORES), qos_way_quota=quota, name=label
+        )
+        lineup = compare(mix, [cfg.private(CORES), config])
+        result = lineup.results[label]
+        apps = result.app_speedups_over(lineup.baseline)
+        qos_rows.append(
+            [label, result.speedup_over(lineup.baseline),
+             min(apps.values()), min(apps, key=apps.get)]
+        )
+    return index_rows, normal_rows, qos_rows
+
+
+def test_indexing_and_qos_ablations(benchmark):
+    index_rows, normal_rows, qos_rows = once(benchmark, run)
+    text = "\n\n".join(
+        [
+            "slice-hammer (strided attack):\n"
+            + render_table(["indexing", "speedup vs private"], index_rows),
+            "graph500 (well-behaved):\n"
+            + render_table(["indexing", "speedup vs private"], normal_rows),
+            "hostile 4-app mix (gups aggressor):\n"
+            + render_table(
+                ["policy", "throughput", "worst app", "victim"], qos_rows
+            ),
+        ]
+    )
+    report("ablation_indexing_qos", text)
+
+    hammer = {name: s for name, s in index_rows}
+    normal = {name: s for name, s in normal_rows}
+    # XOR-fold defuses the strided attack decisively...
+    assert hammer["xor-fold"] > hammer["modulo"] * 1.5
+    # ...and costs nothing on a normal workload.
+    assert abs(normal["xor-fold"] - normal["modulo"]) < 0.04
+
+    qos = {label: (throughput, worst) for label, throughput, worst, _ in qos_rows}
+    # Partitioning never breaks aggregate throughput badly and helps
+    # (or at least does not hurt) the worst-off application.
+    assert qos["quota 4"][0] > qos["no QoS"][0] - 0.05
+    assert qos["quota 4"][1] >= qos["no QoS"][1] - 0.02

@@ -1,0 +1,65 @@
+"""Table I *in vivo*: the distributed shared TLB over every candidate
+fabric, under real workload traffic (32 cores).
+
+Table I scores the fabrics on paper properties; this ablation runs
+them.  Expected shape: the bus collapses once offered load exceeds its
+one-transfer-at-a-time capacity; the narrow flattened butterfly pays
+serialisation on every message; the wide flattened butterfly closes
+most of the mesh-to-NOCSTAR gap but (per Table I) at 6x the area/power
+budget; NOCSTAR wins outright at ~1% of a slice's area.
+"""
+
+from repro.analysis.tables import render_table
+from repro.sim import configs as cfg
+from repro.sim.engine import simulate
+
+from _common import ACCESSES, once, report, workload
+
+CORES = 32
+WORKLOAD_SET = ("xsbench", "canneal", "gups")
+NOCS = ("mesh", "bus", "fbfly-wide", "fbfly-narrow")
+
+
+def run():
+    table = {}
+    for name in WORKLOAD_SET:
+        wl = workload(name, CORES, ACCESSES)
+        base = simulate(cfg.private(CORES), wl)
+        for noc in NOCS:
+            result = simulate(cfg.distributed(CORES, noc=noc), wl)
+            table[(name, noc)] = base.cycles / result.cycles
+        table[(name, "nocstar")] = (
+            base.cycles / simulate(cfg.nocstar(CORES), wl).cycles
+        )
+    return table
+
+
+def test_distributed_over_every_fabric(benchmark):
+    table = once(benchmark, run)
+    columns = list(NOCS) + ["nocstar"]
+    rows = [
+        [name] + [table[(name, noc)] for noc in columns]
+        for name in WORKLOAD_SET
+    ]
+    avg = {
+        noc: sum(table[(n, noc)] for n in WORKLOAD_SET) / len(WORKLOAD_SET)
+        for noc in columns
+    }
+    rows.append(["average"] + [avg[noc] for noc in columns])
+    report(
+        "ablation_interconnects",
+        render_table(["workload"] + columns, rows),
+    )
+
+    # NOCSTAR beats every conventional fabric.
+    for noc in NOCS:
+        assert avg["nocstar"] > avg[noc]
+    # The bus saturates under 32-core TLB traffic: clearly below the
+    # mesh despite its lower idle latency.
+    assert avg["bus"] < avg["mesh"]
+    # Narrow FBFly's serialisation erases the express-link advantage.
+    assert avg["fbfly-narrow"] < avg["fbfly-wide"]
+    # Wide FBFly is the best conventional fabric (Table I's latency +
+    # bandwidth winner), within a few points of NOCSTAR.
+    assert avg["fbfly-wide"] >= avg["mesh"]
+    assert avg["nocstar"] - avg["fbfly-wide"] < 0.10

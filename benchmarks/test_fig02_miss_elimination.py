@@ -1,0 +1,52 @@
+"""Fig 2 — percentage of private L2 TLB misses eliminated by a shared
+TLB, for 16/32/64-core systems.
+
+Paper: the shared TLB eliminates the majority of private L2 misses
+(70-90% in the original shared-TLB study), and the effect strengthens
+with core count; poor-locality workloads (canneal, gups, xsbench) gain
+most at high core counts.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.sim import configs as cfg
+
+from _common import ACCESSES, HEAVY_WORKLOADS, once, report, run_lineup
+
+CORE_COUNTS = (16, 32, 64)
+
+
+def run():
+    rows = []
+    elim = {}
+    for name in HEAVY_WORKLOADS:
+        row = [name]
+        for cores in CORE_COUNTS:
+            lineup = run_lineup(
+                name, cores, [cfg.private(cores), cfg.distributed(cores)]
+            )
+            pct = lineup.misses_eliminated_pct("distributed")
+            elim[(name, cores)] = pct
+            row.append(pct)
+        rows.append(row)
+    averages = ["Avg"] + [
+        sum(elim[(n, c)] for n in HEAVY_WORKLOADS) / len(HEAVY_WORKLOADS)
+        for c in CORE_COUNTS
+    ]
+    rows.append(averages)
+    return elim, rows
+
+
+def test_fig2_miss_elimination(benchmark):
+    elim, rows = once(benchmark, run)
+    headers = ["workload"] + [f"{c}-core (%)" for c in CORE_COUNTS]
+    report("fig02_miss_elimination", render_table(headers, rows, precision=1))
+
+    for name in HEAVY_WORKLOADS:
+        # The shared TLB removes a large fraction of misses everywhere...
+        assert elim[(name, 16)] > 35.0
+        # ...and higher core counts eliminate at least as much.
+        assert elim[(name, 64)] > elim[(name, 16)]
+    avg64 = sum(elim[(n, 64)] for n in HEAVY_WORKLOADS) / len(HEAVY_WORKLOADS)
+    assert avg64 > 55.0

@@ -1,0 +1,33 @@
+"""Fig 3 — SRAM TLB access latency vs array size (28nm model).
+
+Paper: a 1536-entry array (1x) takes ~9 cycles; 32x takes ~15; the
+curve is logarithmic from 0.5x to 64x.
+"""
+
+from repro.analysis.tables import render_series
+from repro.mem import sram
+
+from _common import once, report
+
+SIZES = (0.5, 1, 2, 4, 8, 16, 32, 64)
+
+
+def run():
+    return [sram.fig3_lookup_cycles(s) for s in SIZES]
+
+
+def test_fig3_sram_latency(benchmark):
+    cycles = once(benchmark, run)
+    report(
+        "fig03_sram_latency",
+        render_series(
+            "SRAM lookup cycles vs size (x 1536 entries)",
+            [f"{s}x" for s in SIZES],
+            cycles,
+            precision=1,
+        ),
+    )
+    assert cycles == sorted(cycles)
+    assert 8.0 <= cycles[SIZES.index(1)] <= 10.0  # 1x ~ 9 cycles
+    assert 14.0 <= cycles[SIZES.index(32)] <= 16.0  # 32x ~ 15 cycles
+    assert cycles[-1] - cycles[0] <= 12  # log-like, not linear blow-up

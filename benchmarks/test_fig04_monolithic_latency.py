@@ -1,0 +1,57 @@
+"""Fig 4 — speedup of a monolithic banked shared L2 TLB over private L2
+TLBs as its total access latency varies from 9 to 25 cycles (32-core).
+
+Paper: at 25 cycles the shared TLB loses 10-15% despite its higher hit
+rate; even the unrealisable 16-cycle (zero-interconnect) case shows
+little to no speedup; only the impossible 9-cycle case wins broadly.
+"""
+
+from repro.analysis.tables import render_table
+from repro.sim import configs as cfg
+
+from _common import HEAVY_WORKLOADS, once, report, run_lineup
+
+LATENCIES = (25, 16, 11, 9)
+CORES = 32
+
+
+def run():
+    table = {}
+    for name in HEAVY_WORKLOADS:
+        lineup = run_lineup(
+            name,
+            CORES,
+            [cfg.private(CORES)]
+            + [cfg.monolithic(CORES, fixed_latency=lat) for lat in LATENCIES],
+        )
+        table[name] = {
+            lat: lineup.speedup(f"monolithic-{lat}cc") for lat in LATENCIES
+        }
+    return table
+
+
+def test_fig4_monolithic_access_latency(benchmark):
+    table = once(benchmark, run)
+    headers = ["workload"] + [f"Shared({lat}-cc)" for lat in LATENCIES]
+    rows = [
+        [name] + [table[name][lat] for lat in LATENCIES]
+        for name in HEAVY_WORKLOADS
+    ]
+    avg = {
+        lat: sum(table[n][lat] for n in HEAVY_WORKLOADS) / len(HEAVY_WORKLOADS)
+        for lat in LATENCIES
+    }
+    rows.append(["average"] + [avg[lat] for lat in LATENCIES])
+    report("fig04_monolithic_latency", render_table(headers, rows))
+
+    # Monotone: lower access latency, higher speedup, per workload.
+    for name in HEAVY_WORKLOADS:
+        ordered = [table[name][lat] for lat in LATENCIES]
+        assert ordered == sorted(ordered)
+    # Access latency costs >= 8 points of speedup between the ideal 9cc
+    # and the realistic 25cc (the paper's 10-15% dip; our shared TLB's
+    # larger hit-rate benefit shifts the absolute level up, see
+    # EXPERIMENTS.md).
+    assert avg[9] - avg[25] >= 0.08
+    assert min(table[n][25] for n in HEAVY_WORKLOADS) < 1.0
+    assert avg[9] > 1.0

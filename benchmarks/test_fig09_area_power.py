@@ -1,0 +1,62 @@
+"""Fig 9 — place-and-routed NOCSTAR tile: per-core power and area of the
+switch, link arbiters, and L2 TLB slice SRAM.
+
+Paper (28nm TSMC, 2GHz): switch 0.43mW / 0.0022mm^2, 4x arbiters
+2.39mW / 0.0038mm^2, SRAM slice 10.91mW / 0.4646mm^2 — the interconnect
+is <1% of the tile's SRAM area, and the arbiters are its power hotspot.
+"""
+
+from repro.analysis.tables import render_table
+from repro.energy import components as comp
+from repro.mem import sram
+
+from _common import once, report
+
+
+def run():
+    rows = [
+        ["Switch", comp.SWITCH_POWER_MW, comp.SWITCH_AREA_MM2],
+        ["4x Arbiters", comp.ARBITERS_POWER_MW, comp.ARBITERS_AREA_MM2],
+        ["SRAM TLB", comp.SRAM_SLICE_POWER_MW, comp.SRAM_SLICE_AREA_MM2],
+    ]
+    nocstar_slice = sram.budget(920)
+    rows.append(
+        ["SRAM TLB (920e, area-norm)", nocstar_slice.power_mw,
+         nocstar_slice.area_mm2]
+    )
+    return rows
+
+
+def test_fig9_tile_budget(benchmark):
+    rows = once(benchmark, run)
+    report(
+        "fig09_area_power",
+        render_table(
+            ["component", "power (mW)", "area (mm^2)"], rows, precision=4
+        ),
+    )
+    switch_area = rows[0][2]
+    arbiter_area = rows[1][2]
+    sram_area = rows[2][2]
+    assert (switch_area + arbiter_area) / sram_area < 0.015
+    assert rows[1][1] > rows[0][1]  # arbiters are the power hotspot
+    # Area-equivalence (Table II): the 920-entry slice plus the
+    # interconnect fits inside a 1024-entry private TLB's area.
+    total_nocstar_area = rows[3][2] + switch_area + arbiter_area
+    assert total_nocstar_area <= sram_area
+
+
+def test_area_equivalence_of_table2(benchmark):
+    """Table II: 920-entry slices + interconnect fit the 1024-entry
+    private budget chip-wide."""
+    def check():
+        private_tile = sram.budget(1024).area_mm2
+        nocstar_tile = (
+            sram.budget(920).area_mm2
+            + comp.SWITCH_AREA_MM2
+            + comp.ARBITERS_AREA_MM2
+        )
+        return private_tile, nocstar_tile
+
+    private_tile, nocstar_tile = once(benchmark, check)
+    assert nocstar_tile <= private_tile

@@ -1,0 +1,50 @@
+"""Fig 11(a) — per-message latency in the TLB interconnect vs hop count
+for monolithic, distributed, and NOCSTAR (HPCmax 4/8/16).
+
+Paper: the monolithic curve (big SRAM + multi-hop mesh) climbs towards
+~40 cycles at 12 hops; distributed (small SRAM + mesh) sits below it;
+the NOCSTAR curves stay almost flat at ~10-13 cycles, ordered by
+HPCmax.
+"""
+
+from repro.analysis.tables import render_table
+from repro.mem import sram
+from repro.noc import latency as lat
+
+from _common import once, report
+
+HOPS = (0, 1, 2, 4, 6, 8, 10, 12)
+
+
+def run():
+    mono_sram = sram.lookup_cycles(32 * 1024) + 1
+    slice_sram = sram.lookup_cycles(1024)
+    nocstar_sram = sram.lookup_cycles(920)
+    curves = {
+        "monolithic": [mono_sram + lat.MESH.latency(h) for h in HOPS],
+        "distributed": [slice_sram + lat.MESH.latency(h) for h in HOPS],
+    }
+    for hpc in (4, 8, 16):
+        curves[f"nocstar-hpc{hpc}"] = [
+            nocstar_sram + lat.nocstar_params(hpc).latency(h) for h in HOPS
+        ]
+    return curves
+
+
+def test_fig11a_latency_vs_hops(benchmark):
+    curves = once(benchmark, run)
+    rows = [[name] + values for name, values in curves.items()]
+    report(
+        "fig11a_latency_vs_hops",
+        render_table(["design"] + [f"{h} hops" for h in HOPS], rows,
+                     precision=0),
+    )
+    at12 = {name: values[-1] for name, values in curves.items()}
+    assert at12["monolithic"] >= 35
+    assert at12["monolithic"] > at12["distributed"]
+    assert at12["distributed"] > at12["nocstar-hpc4"]
+    assert at12["nocstar-hpc4"] > at12["nocstar-hpc8"] >= at12["nocstar-hpc16"]
+    assert at12["nocstar-hpc16"] <= 13
+    # NOCSTAR is nearly flat: 0 -> 12 hops adds only a few cycles.
+    flat = curves["nocstar-hpc16"]
+    assert flat[-1] - flat[0] <= 3

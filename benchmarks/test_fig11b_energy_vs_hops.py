@@ -1,0 +1,55 @@
+"""Fig 11(b) — per-message energy vs hop count, broken into
+Link / Switch / Control / SRAM, for (M)onolithic, (D)istributed and
+(N)OCSTAR.
+
+Paper: monolithic is dominated by its large SRAM read; NOCSTAR's
+circuit-switched datapath makes its per-hop switch energy cheaper than
+a buffered router, at the price of a small control premium; overall
+M > D > N at every hop count.
+"""
+
+from repro.analysis.tables import render_table
+from repro.energy.message import message_energy_pj
+
+from _common import once, report
+
+HOPS = (0, 1, 2, 4, 6, 8, 10, 12)
+COMPONENTS = ("link", "switch", "control", "sram", "total")
+
+
+def run():
+    table = {}
+    for design in ("monolithic", "distributed", "nocstar"):
+        table[design] = {
+            h: message_energy_pj(design, h, num_cores=32) for h in HOPS
+        }
+    return table
+
+
+def test_fig11b_energy_vs_hops(benchmark):
+    table = once(benchmark, run)
+    rows = []
+    for design, by_hops in table.items():
+        for component in COMPONENTS:
+            rows.append(
+                [f"{design[0].upper()}/{component}"]
+                + [by_hops[h][component] for h in HOPS]
+            )
+    report(
+        "fig11b_energy_vs_hops",
+        render_table(["series"] + [f"{h}h" for h in HOPS], rows, precision=1),
+    )
+
+    for h in HOPS:
+        assert (
+            table["monolithic"][h]["total"]
+            > table["distributed"][h]["total"]
+            > table["nocstar"][h]["total"]
+        )
+    # SRAM dominates monolithic even at 12 hops.
+    mono12 = table["monolithic"][12]
+    assert mono12["sram"] > mono12["link"] + mono12["switch"]
+    # NOCSTAR has the only non-zero control term, and a cheaper switch.
+    assert table["nocstar"][12]["control"] > 0
+    assert table["distributed"][12]["control"] == 0
+    assert table["nocstar"][12]["switch"] < table["distributed"][12]["switch"]

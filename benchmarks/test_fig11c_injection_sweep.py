@@ -1,0 +1,61 @@
+"""Fig 11(c) — average message latency vs injection rate on a 64-node
+system with uniform-random synthetic traffic, NOCSTAR vs multi-hop
+mesh, plus the fraction of NOCSTAR messages with no contention delay.
+
+Paper: even at injection rate 0.1 (one message per 10 cycles per core —
+high for TLB traffic) NOCSTAR's average latency stays within ~3 cycles,
+well under the multi-hop mesh.
+"""
+
+from repro.analysis.tables import render_table
+from repro.noc.synthetic import run_mesh_traffic, run_nocstar_traffic
+from repro.noc.topology import MeshTopology
+
+from _common import FULL_SCALE, once, report
+
+RATES = (0.01, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4)
+CYCLES = 5000 if FULL_SCALE else 2500
+
+
+def run():
+    topo = MeshTopology(64)
+    nocstar = {r: run_nocstar_traffic(topo, r, cycles=CYCLES) for r in RATES}
+    mesh = {r: run_mesh_traffic(topo, r, cycles=CYCLES) for r in RATES}
+    return nocstar, mesh
+
+
+def test_fig11c_injection_sweep(benchmark):
+    nocstar, mesh = once(benchmark, run)
+    rows = [
+        [
+            rate,
+            nocstar[rate].mean_latency,
+            mesh[rate].mean_latency,
+            100 * nocstar[rate].no_contention_fraction,
+        ]
+        for rate in RATES
+    ]
+    report(
+        "fig11c_injection_sweep",
+        render_table(
+            ["inj rate", "NOCSTAR lat", "mesh lat", "% no contention"],
+            rows,
+            precision=2,
+        ),
+    )
+
+    # Paper's operating point: <= ~3 cycles at 0.1 injection (already
+    # high for TLB traffic — one L1 miss per 10 cycles per core).
+    assert nocstar[0.1].mean_latency <= 4.0
+    # NOCSTAR under the mesh throughout the TLB-realistic region.  (Past
+    # ~0.15 the all-or-nothing circuit-switched fabric saturates earlier
+    # than the buffered mesh — see EXPERIMENTS.md.)
+    for rate in (0.01, 0.05, 0.1):
+        assert nocstar[rate].mean_latency < mesh[rate].mean_latency
+    # Latency rises and no-contention fraction falls with load.
+    assert nocstar[0.4].mean_latency > nocstar[0.01].mean_latency
+    assert (
+        nocstar[0.4].no_contention_fraction
+        < nocstar[0.01].no_contention_fraction
+    )
+    assert nocstar[0.01].no_contention_fraction > 0.85

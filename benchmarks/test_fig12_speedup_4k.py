@@ -1,0 +1,51 @@
+"""Fig 12 — speedups over private L2 TLBs on a 16-core system using
+only 4KB pages: monolithic, distributed, NOCSTAR, and the
+zero-interconnect-latency ideal.
+
+Paper: NOCSTAR averages 1.13x (max 1.25x) and beats every other
+configuration; monolithic *degrades* performance on average; NOCSTAR
+comes within ~2% of ideal.
+"""
+
+from repro.analysis.tables import render_table
+from repro.sim import configs as cfg
+
+from _common import HEAVY_WORKLOADS, once, report, run_lineup
+
+CORES = 16
+CONFIG_NAMES = ("monolithic-mesh", "distributed", "nocstar", "ideal")
+
+
+def run():
+    table = {}
+    for name in HEAVY_WORKLOADS:
+        lineup = run_lineup(
+            name,
+            CORES,
+            cfg.paper_lineup(CORES),
+            superpages=False,
+        )
+        table[name] = lineup.speedups()
+    return table
+
+
+def test_fig12_speedups_4k_only(benchmark):
+    table = once(benchmark, run)
+    rows = [
+        [name] + [table[name][c] for c in CONFIG_NAMES]
+        for name in HEAVY_WORKLOADS
+    ]
+    avg = {
+        c: sum(table[n][c] for n in HEAVY_WORKLOADS) / len(HEAVY_WORKLOADS)
+        for c in CONFIG_NAMES
+    }
+    rows.append(["average"] + [avg[c] for c in CONFIG_NAMES])
+    report(
+        "fig12_speedup_4k",
+        render_table(["workload"] + list(CONFIG_NAMES), rows),
+    )
+
+    assert avg["nocstar"] > 1.05
+    assert avg["nocstar"] > avg["distributed"] > avg["monolithic-mesh"]
+    assert avg["nocstar"] / avg["ideal"] >= 0.93
+    assert max(table[n]["nocstar"] for n in HEAVY_WORKLOADS) > 1.1

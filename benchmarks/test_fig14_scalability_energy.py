@@ -1,0 +1,89 @@
+"""Fig 14 — (left) min/avg/max speedups at 16/32/64 cores with
+transparent superpages; (right) percent of address-translation energy
+saved versus private L2 TLBs.
+
+Paper: monolithic's high access time overwhelms its hit rate and
+worsens with core count; NOCSTAR consistently outperforms everything;
+even monolithic saves ~a third of translation energy, and NOCSTAR saves
+up to ~60% at 64 cores (walk elimination + shorter runtime).
+"""
+
+from repro.analysis.tables import render_table
+from repro.energy.model import percent_energy_saved
+from repro.sim import configs as cfg
+
+from _common import HEAVY_WORKLOADS, once, report, run_lineup
+
+CORE_COUNTS = (16, 32, 64)
+CONFIGS = ("monolithic-mesh", "distributed", "nocstar")
+
+
+def run():
+    speedups = {}
+    energy_saved = {}
+    for cores in CORE_COUNTS:
+        per_config = {c: [] for c in CONFIGS}
+        saved = {c: [] for c in CONFIGS}
+        for name in HEAVY_WORKLOADS:
+            lineup = run_lineup(
+                name,
+                cores,
+                [
+                    cfg.private(cores),
+                    cfg.monolithic(cores),
+                    cfg.distributed(cores),
+                    cfg.nocstar(cores),
+                ],
+            )
+            base_pj = lineup.baseline.total_energy_pj
+            for config in CONFIGS:
+                per_config[config].append(lineup.speedup(config))
+                saved[config].append(
+                    percent_energy_saved(
+                        base_pj, lineup.results[config].total_energy_pj
+                    )
+                )
+        speedups[cores] = {
+            c: (min(v), sum(v) / len(v), max(v))
+            for c, v in per_config.items()
+        }
+        energy_saved[cores] = {
+            c: sum(v) / len(v) for c, v in saved.items()
+        }
+    return speedups, energy_saved
+
+
+def test_fig14_scalability_and_energy(benchmark):
+    speedups, energy_saved = once(benchmark, run)
+    rows = []
+    for cores in CORE_COUNTS:
+        for config in CONFIGS:
+            mn, avg, mx = speedups[cores][config]
+            rows.append(
+                [f"{cores}-core", config, mn, avg, mx,
+                 energy_saved[cores][config]]
+            )
+    report(
+        "fig14_scalability_energy",
+        render_table(
+            ["system", "config", "min", "avg", "max", "% energy saved"],
+            rows,
+        ),
+    )
+
+    for cores in CORE_COUNTS:
+        mono_avg = speedups[cores]["monolithic-mesh"][1]
+        dist_avg = speedups[cores]["distributed"][1]
+        noc_avg = speedups[cores]["nocstar"][1]
+        assert noc_avg > dist_avg > mono_avg
+        assert noc_avg > 1.05
+        # Every shared configuration saves translation energy.
+        for config in CONFIGS:
+            assert energy_saved[cores][config] > 10.0
+        # NOCSTAR saves the most.
+        assert (
+            energy_saved[cores]["nocstar"]
+            >= energy_saved[cores]["monolithic-mesh"]
+        )
+    # NOCSTAR's advantage grows with core count (bigger shared pool).
+    assert speedups[64]["nocstar"][1] >= speedups[16]["nocstar"][1] - 0.02

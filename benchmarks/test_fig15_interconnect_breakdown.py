@@ -1,0 +1,77 @@
+"""Fig 15 — teasing apart distribution vs interconnect (32-core):
+monolithic over a multi-hop mesh, monolithic over SMART, distributed,
+NOCSTAR, NOCSTAR with a contention-free network, and the
+zero-interconnect-latency ideal.
+
+Paper: both monolithic variants degrade on average (even SMART can't
+save the big SRAM); distributing the slices helps (~+5%); NOCSTAR does
+better still, runs within a whisker of its own contention-free variant
+(latencies average 1-3 cycles), and lands within 95% of ideal.
+"""
+
+from repro.analysis.tables import render_table
+from repro.sim import configs as cfg
+
+from _common import HEAVY_WORKLOADS, once, report, run_lineup
+
+CORES = 32
+CONFIG_NAMES = (
+    "monolithic-mesh",
+    "monolithic-smart",
+    "distributed",
+    "nocstar",
+    "nocstar-ideal",
+    "ideal",
+)
+
+
+def run():
+    table = {}
+    retries = {}
+    for name in HEAVY_WORKLOADS:
+        lineup = run_lineup(
+            name,
+            CORES,
+            [
+                cfg.private(CORES),
+                cfg.monolithic(CORES),
+                cfg.monolithic(CORES, noc="smart"),
+                cfg.distributed(CORES),
+                cfg.nocstar(CORES),
+                cfg.nocstar_ideal(CORES),
+                cfg.ideal(CORES),
+            ],
+        )
+        table[name] = lineup.speedups()
+        retries[name] = lineup.results["nocstar"].network[
+            "mean_setup_retries"
+        ]
+    return table, retries
+
+
+def test_fig15_interconnect_breakdown(benchmark):
+    table, retries = once(benchmark, run)
+    rows = [
+        [name] + [table[name][c] for c in CONFIG_NAMES] + [retries[name]]
+        for name in HEAVY_WORKLOADS
+    ]
+    avg = {
+        c: sum(table[n][c] for n in HEAVY_WORKLOADS) / len(HEAVY_WORKLOADS)
+        for c in CONFIG_NAMES
+    }
+    rows.append(["average"] + [avg[c] for c in CONFIG_NAMES] + [""])
+    report(
+        "fig15_interconnect_breakdown",
+        render_table(["workload"] + list(CONFIG_NAMES) + ["retries"], rows),
+    )
+
+    # Monolithic degrades even with SMART; distribution helps; NOCSTAR
+    # does better; contention costs NOCSTAR almost nothing.
+    assert avg["monolithic-mesh"] < 1.0
+    assert avg["monolithic-smart"] < avg["distributed"] + 0.03
+    assert avg["distributed"] < avg["nocstar"]
+    assert avg["nocstar"] >= avg["nocstar-ideal"] - 0.02
+    assert avg["nocstar"] / avg["ideal"] >= 0.95
+    # Fig 15's supporting claim: NOCSTAR latencies are 1-3 cycles,
+    # i.e. almost no setup retries on real traffic.
+    assert all(r < 1.0 for r in retries.values())

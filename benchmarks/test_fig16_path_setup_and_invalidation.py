@@ -1,0 +1,106 @@
+"""Fig 16 — (left) link-acquisition modes: one round-trip acquire vs
+two one-way acquires, at several core counts; (right) TLB invalidation
+routing policies: leaders per 4 cores, per 8 cores, or one per chip,
+against every-core-relays.
+
+Paper: acquiring links separately for each message (2x one-way) beats
+holding them for the round trip; invalidation leaders beat the naive
+flood, with a mid-sized leader group as the sweet spot.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.tables import render_table
+from repro.core.config import NocstarConfig, ONE_WAY, ROUND_TRIP
+from repro.sim import configs as cfg
+from repro.sim.engine import ShootdownTraffic, simulate
+
+from _common import ACCESSES, FULL_SCALE, once, report, workload
+
+WORKLOAD_SET = ("canneal", "graph500", "gups", "xsbench")
+CORE_COUNTS = (16, 32, 64) if FULL_SCALE else (16, 32)
+
+
+def run():
+    acquire = {}
+    for cores in CORE_COUNTS:
+        for name in WORKLOAD_SET:
+            wl = workload(name, cores, ACCESSES)
+            base = simulate(cfg.private(cores), wl)
+            for mode, label in ((ROUND_TRIP, "1x two-way"),
+                                (ONE_WAY, "2x one-way")):
+                config = cfg.nocstar(cores, config=NocstarConfig(acquire=mode))
+                config = replace(config, name=label)
+                result = simulate(config, wl)
+                acquire[(cores, name, label)] = base.cycles / result.cycles
+
+    invalidation = {}
+    # Several concurrent remappers per event: the scenario where the
+    # leader choice matters (§III-G's "middle ground" argument).
+    shootdown = ShootdownTraffic(period=1500, entries_per_event=8,
+                                 initiators=4)
+    for cores in CORE_COUNTS:
+        for name in WORKLOAD_SET:
+            wl = workload(name, cores, ACCESSES)
+            base = simulate(cfg.private(cores), wl, shootdown=shootdown)
+            for gran, label in ((1, "per-core"), (4, "per-4-core"),
+                                (8, "per-8-core"), (cores, f"per-{cores}-core")):
+                config = cfg.nocstar(cores, leader_granularity=gran)
+                result = simulate(config, wl, shootdown=shootdown)
+                invalidation[(cores, name, label)] = (
+                    base.cycles / result.cycles
+                )
+    return acquire, invalidation
+
+
+def test_fig16_path_setup_and_invalidation(benchmark):
+    acquire, invalidation = once(benchmark, run)
+
+    rows = []
+    for cores in CORE_COUNTS:
+        for label in ("1x two-way", "2x one-way"):
+            values = [acquire[(cores, n, label)] for n in WORKLOAD_SET]
+            rows.append([f"{cores}-core", label] + values
+                        + [sum(values) / len(values)])
+    left = render_table(
+        ["system", "acquire"] + list(WORKLOAD_SET) + ["avg"], rows
+    )
+
+    rows = []
+    labels = ["per-core", "per-4-core", "per-8-core"]
+    for cores in CORE_COUNTS:
+        for label in labels + [f"per-{cores}-core"]:
+            values = [invalidation[(cores, n, label)] for n in WORKLOAD_SET]
+            rows.append([f"{cores}-core", label] + values
+                        + [sum(values) / len(values)])
+    right = render_table(
+        ["system", "leaders"] + list(WORKLOAD_SET) + ["avg"], rows
+    )
+    report("fig16_path_setup_and_invalidation", left + "\n\n" + right)
+
+    for cores in CORE_COUNTS:
+        one_way = sum(
+            acquire[(cores, n, "2x one-way")] for n in WORKLOAD_SET
+        )
+        round_trip = sum(
+            acquire[(cores, n, "1x two-way")] for n in WORKLOAD_SET
+        )
+        # One-way acquisition never loses to round-trip holds.
+        assert one_way >= round_trip - 0.01 * len(WORKLOAD_SET)
+        # Leader-based invalidation beats the naive flood.
+        flood = sum(
+            invalidation[(cores, n, "per-core")] for n in WORKLOAD_SET
+        )
+        leaders = sum(
+            invalidation[(cores, n, "per-8-core")] for n in WORKLOAD_SET
+        )
+        single = sum(
+            invalidation[(cores, n, f"per-{cores}-core")]
+            for n in WORKLOAD_SET
+        )
+        assert leaders >= flood - 0.02 * len(WORKLOAD_SET)
+        # The middle ground holds up against the single chip-wide
+        # leader when remappers are concurrent.
+        assert leaders >= single - 0.02 * len(WORKLOAD_SET)
+        # NOCSTAR stays profitable under shootdown traffic.
+        assert leaders / len(WORKLOAD_SET) > 1.0

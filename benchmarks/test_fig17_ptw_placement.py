@@ -1,0 +1,57 @@
+"""Fig 17 — page-table walks at the requesting core vs at the remote
+core that owns the missing slice.
+
+Paper: remote walks avoid the miss message but pollute the remote
+core's caches and can congest its walkers; walking at the requesting
+core is slightly better.
+"""
+
+from repro.analysis.tables import render_table
+from repro.sim import configs as cfg
+from repro.sim.engine import simulate
+
+from _common import ACCESSES, FULL_SCALE, once, report, workload
+
+WORKLOAD_SET = ("canneal", "graph500", "gups", "xsbench")
+CORE_COUNTS = (16, 32, 64) if FULL_SCALE else (16, 32)
+
+
+def run():
+    table = {}
+    for cores in CORE_COUNTS:
+        for name in WORKLOAD_SET:
+            wl = workload(name, cores, ACCESSES)
+            base = simulate(cfg.private(cores), wl)
+            for policy in (cfg.PTW_REQUESTER, cfg.PTW_REMOTE):
+                result = simulate(
+                    cfg.nocstar(cores, ptw_policy=policy), wl
+                )
+                table[(cores, name, policy)] = base.cycles / result.cycles
+    return table
+
+
+def test_fig17_ptw_placement(benchmark):
+    table = once(benchmark, run)
+    rows = []
+    averages = {}
+    for cores in CORE_COUNTS:
+        for policy, label in ((cfg.PTW_REQUESTER, "Request"),
+                              (cfg.PTW_REMOTE, "Remote")):
+            values = [table[(cores, n, policy)] for n in WORKLOAD_SET]
+            avg = sum(values) / len(values)
+            averages[(cores, policy)] = avg
+            rows.append([f"{cores}-core", label] + values + [avg])
+    report(
+        "fig17_ptw_placement",
+        render_table(["system", "walk at"] + list(WORKLOAD_SET) + ["avg"],
+                     rows),
+    )
+
+    for cores in CORE_COUNTS:
+        requester = averages[(cores, cfg.PTW_REQUESTER)]
+        remote = averages[(cores, cfg.PTW_REMOTE)]
+        # Requesting-core walks win, but only slightly (both stay
+        # profitable configurations).
+        assert requester >= remote
+        assert requester - remote < 0.25
+        assert remote > 0.95

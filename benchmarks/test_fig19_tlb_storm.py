@@ -1,0 +1,106 @@
+"""Fig 19 + §V microbenchmarks — pathological stress:
+
+1. *TLB storm*: aggressive context switching (full TLB flushes) plus
+   superpage promotion churn (512-entry invalidation bursts) running
+   alongside each workload.
+2. *Slice hammer*: N-1 threads continuously hitting one victim slice.
+
+Paper: storms cost every organisation 10-20%, monolithic collapses
+(down 20-30% versus private), but NOCSTAR keeps a 7-11% average win;
+under the slice hammer NOCSTAR still beats private by 3-5% and any
+other shared organisation by >= 7% in the worst case... directionally:
+NOCSTAR remains the best shared configuration under both stressmarks.
+"""
+
+from repro.analysis.tables import render_table
+from repro.sim import configs as cfg
+from repro.sim.engine import simulate
+from repro.workloads.microbench import build_slice_hammer, storm_config_for
+from repro.workloads.registry import get_workload
+
+from _common import ACCESSES, FULL_SCALE, once, report, workload
+
+WORKLOAD_SET = ("graph500", "canneal", "gups")
+CORE_COUNTS = (16, 32, 64) if FULL_SCALE else (16, 32)
+SCHEMES = ("monolithic", "distributed", "nocstar")
+
+
+def _config(scheme, cores):
+    return {
+        "monolithic": cfg.monolithic,
+        "distributed": cfg.distributed,
+        "nocstar": cfg.nocstar,
+    }[scheme](cores)
+
+
+def run():
+    storm_results = {}
+    for cores in CORE_COUNTS:
+        for scheme in SCHEMES:
+            alone, stormy = [], []
+            for name in WORKLOAD_SET:
+                wl = workload(name, cores, ACCESSES)
+                gap = get_workload(name).mean_gap
+                storm = storm_config_for(ACCESSES, mean_gap=gap)
+                base_alone = simulate(cfg.private(cores), wl)
+                base_storm = simulate(cfg.private(cores), wl, storm=storm)
+                alone.append(
+                    base_alone.cycles
+                    / simulate(_config(scheme, cores), wl).cycles
+                )
+                stormy.append(
+                    base_storm.cycles
+                    / simulate(_config(scheme, cores), wl, storm=storm).cycles
+                )
+            storm_results[(cores, scheme)] = (
+                sum(alone) / len(alone),
+                sum(stormy) / len(stormy),
+            )
+
+    hammer_results = {}
+    cores = CORE_COUNTS[0]
+    hammer = build_slice_hammer(cores, accesses_per_core=3_000)
+    base = simulate(cfg.private(cores), hammer)
+    for scheme in SCHEMES:
+        hammer_results[scheme] = (
+            base.cycles / simulate(_config(scheme, cores), hammer).cycles
+        )
+    return storm_results, hammer_results
+
+
+def test_fig19_storm_and_slice_hammer(benchmark):
+    storm_results, hammer_results = once(benchmark, run)
+    rows = [
+        [f"{cores}-core", scheme, alone, stormy]
+        for (cores, scheme), (alone, stormy) in storm_results.items()
+    ]
+    table = render_table(
+        ["system", "config", "alone", "w/ub (storm)"], rows
+    )
+    hammer_rows = [[scheme, value] for scheme, value in hammer_results.items()]
+    table += "\n\nslice-hammer speedups vs private:\n" + render_table(
+        ["config", "speedup"], hammer_rows
+    )
+    report("fig19_tlb_storm", table)
+
+    for cores in CORE_COUNTS:
+        noc_alone, noc_storm = storm_results[(cores, "nocstar")]
+        mono_alone, mono_storm = storm_results[(cores, "monolithic")]
+        # Monolithic collapses under storms (paper: 20-30% below
+        # private) and distributed loses ground...
+        assert mono_storm < mono_alone - 0.1
+        assert storm_results[(cores, "distributed")][1] <= (
+            storm_results[(cores, "distributed")][0]
+        )
+        # ...while NOCSTAR stays the best shared organisation and keeps
+        # a clear win over private TLBs.  (In our model NOCSTAR's
+        # *relative* speedup even rises under storms — post-flush, one
+        # shared walk refills a translation for every core, while the
+        # private baseline re-walks per core; see EXPERIMENTS.md.)
+        assert noc_storm > storm_results[(cores, "distributed")][1] - 0.01
+        assert noc_storm > mono_storm
+        assert noc_storm > 1.0
+    # Slice hammer: NOCSTAR beats private and the other shared configs.
+    assert hammer_results["nocstar"] > 1.0
+    assert hammer_results["nocstar"] >= hammer_results["distributed"] - 0.02
+    assert hammer_results["nocstar"] >= hammer_results["monolithic"]

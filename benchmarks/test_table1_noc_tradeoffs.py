@@ -1,0 +1,48 @@
+"""Table I — TLB interconnect design choices.
+
+Paper: bus wins latency/area but not bandwidth/power; mesh wins
+bandwidth but not latency/area/power; FBFly-wide wins latency and
+bandwidth at extreme area/power; SMART wins latency/bandwidth but keeps
+buffered-router area/power; NOCSTAR is good on all four axes.
+"""
+
+from repro.analysis.tables import render_table
+from repro.noc.tradeoffs import evaluate_designs
+
+from _common import once, report
+
+
+def run():
+    return evaluate_designs(64)
+
+
+def test_table1_design_choices(benchmark):
+    rows = once(benchmark, run)
+    table_rows = [
+        [
+            row.name,
+            row.glyphs["latency"],
+            row.glyphs["bandwidth"],
+            row.glyphs["area"],
+            row.glyphs["power"],
+            row.latency_cycles,
+            row.bandwidth_transfers,
+        ]
+        for row in rows
+    ]
+    report(
+        "table1_noc_tradeoffs",
+        render_table(
+            ["NOC", "Latency", "Bandwidth", "Area", "Power",
+             "lat (cyc)", "bw (xfers)"],
+            table_rows,
+            precision=1,
+        ),
+    )
+    glyphs = {row.name: row.glyphs for row in rows}
+    assert all(g.startswith("yes") for g in glyphs["nocstar"].values())
+    assert glyphs["bus"]["bandwidth"].startswith("no")
+    assert glyphs["mesh"]["latency"].startswith("no")
+    assert glyphs["fbfly-wide"]["area"] == "no+"
+    assert glyphs["smart"]["latency"].startswith("yes")
+    assert glyphs["smart"]["power"].startswith("no")

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Multiprogrammed fairness study (the Fig 18 scenario, in miniature).
+
+Runs a handful of 4-application mixes (8 threads each on 32 cores)
+through private / monolithic / distributed / NOCSTAR TLBs and reports
+aggregate throughput and the worst-off application per mix — showing
+how NOCSTAR shares TLB capacity without starving anyone.
+
+Run:  python examples/multiprogrammed.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.sim import compare, distributed, monolithic, nocstar, private
+from repro.workloads import WORKLOADS, build_multiprogrammed
+from repro.workloads.multiprog import sample_combinations
+
+
+def main() -> None:
+    cores = 32
+    combos = sample_combinations(4, seed=7)
+    configs = [
+        private(cores), monolithic(cores), distributed(cores), nocstar(cores)
+    ]
+
+    rows = []
+    for combo in combos:
+        print(f"Simulating {' + '.join(combo)} ...")
+        workload = build_multiprogrammed(
+            [WORKLOADS[name] for name in combo],
+            cores,
+            accesses_per_core=3_000,
+            seed=1,
+        )
+        lineup = compare(workload, configs)
+        for config in ("monolithic-mesh", "distributed", "nocstar"):
+            result = lineup.results[config]
+            throughput = result.speedup_over(lineup.baseline)
+            apps = result.app_speedups_over(lineup.baseline)
+            victim, victim_speedup = min(apps.items(), key=lambda kv: kv[1])
+            rows.append(
+                ["+".join(n[:4] for n in combo), config, throughput,
+                 victim_speedup, victim]
+            )
+
+    print()
+    print(
+        render_table(
+            ["mix", "config", "throughput", "worst app speedup", "worst app"],
+            rows,
+        )
+    )
+    print(
+        "\nTakeaway (Fig 18): NOCSTAR lifts aggregate throughput in every"
+        "\nmix while its worst-off application stays near parity; the"
+        "\nmonolithic organisation taxes every application's access"
+        "\nlatency and loses mixes outright."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — reproduction of "Scalable Distributed Last-Level TLBs Using
+Low-Latency Interconnects" (NOCSTAR, MICRO 2018).
+
+Public API tour:
+
+* ``repro.sim`` — build configurations (:func:`repro.sim.private`,
+  :func:`repro.sim.nocstar`, ...) and run workloads
+  (:func:`repro.sim.simulate`, :func:`repro.sim.run_suite`).
+* ``repro.core`` — the NOCSTAR interconnect itself.
+* ``repro.workloads`` — the paper's application suite and
+  microbenchmarks as synthetic trace generators.
+* ``repro.tlb`` / ``repro.vm`` / ``repro.mem`` / ``repro.noc`` — the
+  substrates: TLB structures, virtual memory and page walks, SRAM and
+  cache models, and baseline on-chip networks.
+* ``repro.energy`` / ``repro.analysis`` — translation-energy accounting
+  and result post-processing.
+
+Quickstart::
+
+    from repro.sim import nocstar, private, compare
+    from repro.workloads import build_multithreaded, get_workload
+
+    wl = build_multithreaded(get_workload("graph500"), num_cores=16)
+    cmp = compare(wl, [private(16), nocstar(16)])
+    print(cmp.speedup("nocstar"))
+"""
+
+__version__ = "1.0.0"
+
+from repro import analysis, core, energy, mem, noc, sim, tlb, vm, workloads
+
+__all__ = [
+    "analysis",
+    "core",
+    "energy",
+    "mem",
+    "noc",
+    "sim",
+    "tlb",
+    "vm",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Post-processing: concurrency distributions and table rendering."""
+
+from repro.analysis.contention import (
+    BUCKET_LABELS,
+    BUCKETS,
+    bucket_label,
+    concurrency_counts,
+    concurrency_distribution,
+    isolated_fraction,
+    merge_distributions,
+    per_slice_distribution,
+)
+from repro.analysis.tables import (
+    fmt,
+    render_distribution,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "BUCKET_LABELS",
+    "BUCKETS",
+    "bucket_label",
+    "concurrency_counts",
+    "concurrency_distribution",
+    "isolated_fraction",
+    "merge_distributions",
+    "per_slice_distribution",
+    "fmt",
+    "render_distribution",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,104 @@
+"""Concurrency analysis of shared-L2 accesses (Figs 5 and 6).
+
+For every shared L2 TLB access the paper plots how many *other* cores
+had outstanding shared L2 accesses at that moment, bucketed as
+1 acc / 2-4 acc / ... / 29-32 acc.  Fig 6 (right) applies the same
+analysis per TLB slice.  Inputs are the ``(start, end, slice)``
+intervals the simulator records with ``record_intervals=True``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+Interval = Tuple[int, int, int]  # (start, end, slice)
+
+#: Paper bucket boundaries: total concurrent accesses (including self).
+BUCKETS: List[Tuple[int, int, str]] = [
+    (1, 1, "1 acc"),
+    (2, 4, "2-4 acc"),
+    (5, 8, "5-8 acc"),
+    (9, 12, "9-12 acc"),
+    (13, 16, "13-16 acc"),
+    (17, 20, "17-20 acc"),
+    (21, 24, "21-24 acc"),
+    (25, 28, "25-28 acc"),
+    (29, 10**9, "29+ acc"),
+]
+
+BUCKET_LABELS = [label for _, _, label in BUCKETS]
+
+
+def bucket_label(concurrent_total: int) -> str:
+    """Bucket for a total concurrency count (self included, so >= 1)."""
+    if concurrent_total < 1:
+        raise ValueError("an access is always concurrent with itself")
+    for low, high, label in BUCKETS:
+        if low <= concurrent_total <= high:
+            return label
+    return BUCKETS[-1][2]
+
+
+def concurrency_counts(intervals: Sequence[Interval]) -> List[int]:
+    """Per-access total concurrency at the moment each access starts."""
+    ordered = sorted(intervals, key=lambda iv: iv[0])
+    active: List[int] = []  # min-heap of end times
+    counts = []
+    for start, end, _ in ordered:
+        while active and active[0] <= start:
+            heapq.heappop(active)
+        counts.append(len(active) + 1)  # self included
+        heapq.heappush(active, end)
+    return counts
+
+
+def concurrency_distribution(
+    intervals: Sequence[Interval]
+) -> Dict[str, float]:
+    """Fraction of accesses in each paper bucket (Fig 5)."""
+    counts = concurrency_counts(intervals)
+    if not counts:
+        return {label: 0.0 for label in BUCKET_LABELS}
+    histogram: Dict[str, int] = defaultdict(int)
+    for count in counts:
+        histogram[bucket_label(count)] += 1
+    total = len(counts)
+    return {label: histogram.get(label, 0) / total for label in BUCKET_LABELS}
+
+
+def per_slice_distribution(
+    intervals: Sequence[Interval]
+) -> Dict[str, float]:
+    """Fig 6 right: concurrency measured against accesses to the same slice."""
+    by_slice: Dict[int, List[Interval]] = defaultdict(list)
+    for interval in intervals:
+        by_slice[interval[2]].append(interval)
+    histogram: Dict[str, int] = defaultdict(int)
+    total = 0
+    for slice_intervals in by_slice.values():
+        for count in concurrency_counts(slice_intervals):
+            histogram[bucket_label(count)] += 1
+            total += 1
+    if not total:
+        return {label: 0.0 for label in BUCKET_LABELS}
+    return {label: histogram.get(label, 0) / total for label in BUCKET_LABELS}
+
+
+def isolated_fraction(intervals: Sequence[Interval]) -> float:
+    """Fraction of accesses with no other outstanding access (paper: >40%)."""
+    return concurrency_distribution(intervals)["1 acc"]
+
+
+def merge_distributions(
+    distributions: Iterable[Dict[str, float]]
+) -> Dict[str, float]:
+    """Average several workloads' distributions (Fig 6's per-bar averages)."""
+    dists = list(distributions)
+    if not dists:
+        raise ValueError("nothing to merge")
+    return {
+        label: sum(d.get(label, 0.0) for d in dists) / len(dists)
+        for label in BUCKET_LABELS
+    }

@@ -1,0 +1,61 @@
+"""ASCII rendering used by every bench to print paper-style tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def fmt(value, precision: int = 3) -> str:
+    """Compact numeric formatting for table cells."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Monospace table with column alignment."""
+    str_rows = [[fmt(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_distribution(
+    name: str, distribution: Dict[str, float], precision: int = 3
+) -> str:
+    """One stacked-bar's worth of bucket fractions on a single line."""
+    cells = ", ".join(
+        f"{label}={value:.{precision}f}"
+        for label, value in distribution.items()
+        if value > 0
+    )
+    return f"{name}: {cells}"
+
+
+def render_series(
+    title: str, xs: Sequence, ys: Sequence, precision: int = 3
+) -> str:
+    """A named (x, y) series, one pair per line."""
+    lines = [title]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {fmt(x, precision)} -> {fmt(y, precision)}")
+    return "\n".join(lines)

@@ -1,0 +1,271 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``        — simulate one workload across configurations and
+  print the speedup table (the quickstart, parameterised);
+* ``sweep``      — the paper's standard per-workload sweep at one core
+  count (a Fig 12/13-style table);
+* ``workloads``  — list the calibrated workload suite;
+* ``traffic``    — cycle-accurate synthetic-traffic sweep (Fig 11c);
+* ``configs``    — show the Table II configuration lineup;
+* ``export-trace`` — write a synthetic workload to a portable ``.npz``
+  trace that ``run --trace`` (or external tools) can consume.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.tables import render_table
+from repro.noc.synthetic import run_mesh_traffic, run_nocstar_traffic
+from repro.noc.topology import MeshTopology
+from repro.sim import configs as cfg
+from repro.sim.run import compare, run_suite
+from repro.workloads.generators import build_multithreaded
+from repro.workloads.io import load_workload, save_workload
+from repro.workloads.registry import WORKLOAD_NAMES, WORKLOADS, get_workload
+
+CONFIG_FACTORIES = {
+    "private": cfg.private,
+    "monolithic": cfg.monolithic,
+    "monolithic-smart": lambda n: cfg.monolithic(n, noc="smart"),
+    "distributed": cfg.distributed,
+    "nocstar": cfg.nocstar,
+    "nocstar-ideal": cfg.nocstar_ideal,
+    "ideal": cfg.ideal,
+}
+
+
+def _build_configs(names: Sequence[str], cores: int) -> List[cfg.SystemConfig]:
+    configs = []
+    for name in names:
+        factory = CONFIG_FACTORIES.get(name)
+        if factory is None:
+            known = ", ".join(sorted(CONFIG_FACTORIES))
+            raise SystemExit(f"unknown config {name!r}; known: {known}")
+        configs.append(factory(cores))
+    return configs
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.trace:
+        workload = load_workload(args.trace)
+        if workload.num_cores != args.cores:
+            args.cores = workload.num_cores
+    else:
+        spec = get_workload(args.workload)
+        workload = build_multithreaded(
+            spec,
+            args.cores,
+            accesses_per_core=args.accesses,
+            seed=args.seed,
+            superpages=not args.no_superpages,
+        )
+    names = args.configs.split(",")
+    if "private" not in names:
+        names = ["private"] + names
+    lineup = compare(workload, _build_configs(names, args.cores))
+    rows = []
+    for name, result in lineup.results.items():
+        rows.append(
+            [
+                name,
+                result.cycles,
+                result.speedup_over(lineup.baseline),
+                result.stats.l2_misses,
+                result.stats.walks,
+            ]
+        )
+    print(
+        render_table(
+            ["config", "cycles", "speedup", "L2 misses", "walks"], rows
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    names = (
+        args.workloads.split(",") if args.workloads else list(WORKLOAD_NAMES)
+    )
+    comparisons = run_suite(
+        cfg.paper_lineup(args.cores),
+        num_cores=args.cores,
+        workload_names=names,
+        accesses_per_core=args.accesses,
+        seed=args.seed,
+        superpages=not args.no_superpages,
+    )
+    config_names = ["monolithic-mesh", "distributed", "nocstar", "ideal"]
+    rows = [
+        [name] + [comparisons[name].speedup(c) for c in config_names]
+        for name in names
+    ]
+    rows.append(
+        ["average"]
+        + [
+            sum(comparisons[n].speedup(c) for n in names) / len(names)
+            for c in config_names
+        ]
+    )
+    print(render_table(["workload"] + config_names, rows))
+    return 0
+
+
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    rows = [
+        [
+            spec.name,
+            spec.footprint_pages,
+            f"{spec.cold_alpha:.2f}",
+            f"{spec.cold_fraction:.3f}",
+            f"{spec.seq_fraction:.2f}",
+            f"{spec.superpage_fraction:.2f}",
+            f"{spec.mean_gap:.1f}",
+        ]
+        for spec in WORKLOADS.values()
+    ]
+    print(
+        render_table(
+            ["workload", "cold pages", "zipf a", "cold frac", "seq",
+             "superpage", "gap"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_traffic(args: argparse.Namespace) -> int:
+    topology = MeshTopology(args.tiles)
+    rows = []
+    for rate in (0.01, 0.05, 0.1, 0.15, 0.2):
+        nocstar = run_nocstar_traffic(
+            topology, rate, cycles=args.cycles, hpc_max=args.hpc_max
+        )
+        mesh = run_mesh_traffic(topology, rate, cycles=args.cycles)
+        rows.append(
+            [
+                rate,
+                nocstar.mean_latency,
+                mesh.mean_latency,
+                nocstar.no_contention_fraction,
+            ]
+        )
+    print(
+        render_table(
+            ["inj rate", "nocstar (cyc)", "mesh (cyc)", "no-contention"],
+            rows,
+            precision=2,
+        )
+    )
+    return 0
+
+
+def cmd_export_trace(args: argparse.Namespace) -> int:
+    workload = build_multithreaded(
+        get_workload(args.workload),
+        args.cores,
+        accesses_per_core=args.accesses,
+        seed=args.seed,
+        superpages=not args.no_superpages,
+    )
+    path = save_workload(workload, args.out)
+    print(f"wrote {workload.total_accesses} records to {path}")
+    return 0
+
+
+def cmd_configs(args: argparse.Namespace) -> int:
+    rows = []
+    for config in cfg.paper_lineup(args.cores):
+        rows.append(
+            [
+                config.name,
+                config.scheme,
+                config.interconnect or "-",
+                config.entries_per_core,
+                config.monolithic_banks or "-",
+            ]
+        )
+    print(
+        render_table(
+            ["name", "scheme", "interconnect", "entries/core", "banks"], rows
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NOCSTAR (MICRO 2018) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate one workload")
+    run_p.add_argument("--workload", default="graph500")
+    run_p.add_argument("--cores", type=int, default=16)
+    run_p.add_argument("--accesses", type=int, default=8_000)
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--no-superpages", action="store_true")
+    run_p.add_argument(
+        "--configs",
+        default="monolithic,distributed,nocstar,ideal",
+        help="comma-separated configuration names",
+    )
+    run_p.add_argument(
+        "--trace", default="",
+        help="run a saved .npz trace instead of a synthetic workload",
+    )
+    run_p.set_defaults(func=cmd_run)
+
+    export_p = sub.add_parser(
+        "export-trace", help="write a synthetic workload to a .npz trace"
+    )
+    export_p.add_argument("--workload", default="graph500")
+    export_p.add_argument("--cores", type=int, default=16)
+    export_p.add_argument("--accesses", type=int, default=8_000)
+    export_p.add_argument("--seed", type=int, default=1)
+    export_p.add_argument("--no-superpages", action="store_true")
+    export_p.add_argument("--out", required=True)
+    export_p.set_defaults(func=cmd_export_trace)
+
+    sweep_p = sub.add_parser("sweep", help="per-workload speedup sweep")
+    sweep_p.add_argument("--cores", type=int, default=16)
+    sweep_p.add_argument("--accesses", type=int, default=6_000)
+    sweep_p.add_argument("--seed", type=int, default=1)
+    sweep_p.add_argument("--no-superpages", action="store_true")
+    sweep_p.add_argument("--workloads", default="",
+                         help="comma-separated subset (default: all)")
+    sweep_p.set_defaults(func=cmd_sweep)
+
+    wl_p = sub.add_parser("workloads", help="list the workload suite")
+    wl_p.set_defaults(func=cmd_workloads)
+
+    traffic_p = sub.add_parser("traffic", help="synthetic NoC traffic sweep")
+    traffic_p.add_argument("--tiles", type=int, default=64)
+    traffic_p.add_argument("--cycles", type=int, default=2_000)
+    traffic_p.add_argument("--hpc-max", type=int, default=16)
+    traffic_p.set_defaults(func=cmd_traffic)
+
+    cfg_p = sub.add_parser("configs", help="show the Table II lineup")
+    cfg_p.add_argument("--cores", type=int, default=16)
+    cfg_p.set_defaults(func=cmd_configs)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

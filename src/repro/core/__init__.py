@@ -1,0 +1,27 @@
+"""NOCSTAR — the paper's primary contribution: the TLB interconnect."""
+
+from repro.core.config import NocstarConfig, ONE_WAY, ROUND_TRIP
+from repro.core.indexing import (
+    INDEXERS,
+    asid_mix_index,
+    get_indexer,
+    modulo_index,
+    xor_fold_index,
+)
+from repro.core.link_arbiter import LinkArbiter, control_fanout
+from repro.core.nocstar import NocstarInterconnect, NocstarTraversal
+
+__all__ = [
+    "NocstarConfig",
+    "ONE_WAY",
+    "ROUND_TRIP",
+    "INDEXERS",
+    "asid_mix_index",
+    "get_indexer",
+    "modulo_index",
+    "xor_fold_index",
+    "LinkArbiter",
+    "control_fanout",
+    "NocstarInterconnect",
+    "NocstarTraversal",
+]

@@ -1,0 +1,58 @@
+"""Per-link arbiters for cycle-accurate NOCSTAR simulation (§III-B2).
+
+Each data link has one arbiter.  In a given cycle it collects requests
+from every core that can route through the link (the fan-in depends on
+XY routing and the link's position, Fig 7d), grants the link to exactly
+one of them, and the winner's output mux is pre-set for the next cycle.
+Priority is static but rotates round-robin every N cycles to prevent
+starvation; a requester holding the highest priority is guaranteed all
+of its links, which rules out livelock from partial acquisitions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class LinkArbiter:
+    """Arbitrates one directed link among requesting cores."""
+
+    def __init__(self, num_requesters: int, rotation_cycles: int = 1000) -> None:
+        if num_requesters < 1:
+            raise ValueError("an arbiter needs at least one requester")
+        self.num_requesters = num_requesters
+        self.rotation_cycles = rotation_cycles
+        self.grants = 0
+        self.conflicts = 0
+
+    def priority_base(self, cycle: int) -> int:
+        """Requester holding top priority this cycle (round-robin rotation)."""
+        return (cycle // self.rotation_cycles) % self.num_requesters
+
+    def grant(self, cycle: int, requesters: Sequence[int]) -> Optional[int]:
+        """Pick the winner among ``requesters`` (core ids) for this cycle.
+
+        Priority order starts at ``priority_base`` and wraps; the
+        requester closest after the base wins.
+        """
+        if not requesters:
+            return None
+        base = self.priority_base(cycle)
+        winner = min(requesters, key=lambda r: (r - base) % self.num_requesters)
+        self.grants += 1
+        self.conflicts += len(requesters) - 1
+        return winner
+
+
+def control_fanout(rows: int, cols: int) -> int:
+    """Control wires leaving each core under XY routing (§III-B2).
+
+    A core must reach the arbiters of every link it can ever request:
+    (cols - 1) X-links in its own row plus one Y-link arbiter per
+    (row, column) pair below/above, i.e.::
+
+        (num_cores_each_row - 1) + (num_rows - 1) * num_columns
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("mesh dimensions must be positive")
+    return (cols - 1) + (rows - 1) * cols

@@ -1,0 +1,218 @@
+"""The NOCSTAR interconnect: latchless, circuit-switched, single-cycle.
+
+Datapath (§III-B1): a mux-based latchless switch sits next to each TLB
+slice; once every link of the XY path is granted, the message ripples
+through all intermediate switches combinationally — up to ``hpc_max``
+hops per clock — and is latched only at the destination.
+
+Control path (§III-B2): before the traversal, the source requests every
+link of the path from that link's arbiter *in the same cycle*; the
+grants are ANDed.  Any missing grant means the whole setup retries next
+cycle (no partial paths).  This discrete-event model resolves
+contention with per-link ``free_at`` reservations: a setup succeeds in
+the first cycle all links are simultaneously free, and each failed
+attempt is charged one retry cycle and one round of control energy.
+
+Both link-acquisition modes of §V are supported: one-way (request and
+response each arbitrate for a single traversal) and round-trip (links
+held for the whole remote access and released explicitly).
+
+Reservations are per-cycle occupancy maps rather than busy-until
+watermarks: the driving engine resolves cores' misses slightly out of
+global time order (bounded by its run-ahead quantum), and a watermark
+would make a reservation placed at cycle 5000 block an unrelated
+message at cycle 4000.  With occupancy maps, only true same-cycle
+conflicts on a link cause retries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
+
+from repro.core.config import NocstarConfig, ONE_WAY, ROUND_TRIP
+from repro.core.link_arbiter import control_fanout
+from repro.noc.topology import Link, MeshTopology
+
+
+@dataclass(frozen=True)
+class NocstarTraversal:
+    """Outcome of one message through the TLB interconnect."""
+
+    ready: int  # cycle the message is available at the destination
+    hops: int
+    setup_retries: int
+    traversal_cycles: int
+    links: Tuple[Link, ...]
+
+    @property
+    def contended(self) -> bool:
+        return self.setup_retries > 0
+
+
+class NocstarInterconnect:
+    """Discrete-event model of the NOCSTAR TLB network."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        config: NocstarConfig = NocstarConfig(),
+    ) -> None:
+        self.topology = topology
+        self.config = config
+        #: link -> set of cycles during which the link carries data.
+        self._occupied: Dict[Link, Set[int]] = {}
+        #: link -> cycle from which the link is held (round-trip mode).
+        self._held: Dict[Link, int] = {}
+        self.messages = 0
+        self.local_messages = 0
+        self.total_hops = 0
+        self.total_setup_retries = 0
+        self.uncontended_messages = 0
+        self.control_requests = 0  # arbiter requests (energy accounting)
+
+    # ------------------------------------------------------------------
+    # Datapath
+
+    def traversal_cycles(self, hops: int) -> int:
+        """Cycles for the data traversal: ceil(hops / HPCmax)."""
+        return -(-hops // self.config.hpc_max) if hops else 0
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        now: int,
+        speculative_setup: bool = False,
+        hold: bool = False,
+    ) -> NocstarTraversal:
+        """Send one message from tile ``src`` to tile ``dst``.
+
+        ``speculative_setup`` overlaps the path-setup cycle with
+        preceding work (the paper sets up the response path during the
+        slice lookup, §III-C).  ``hold`` keeps the links reserved until
+        :meth:`release` — round-trip acquisition.
+        """
+        self.messages += 1
+        if src == dst:
+            self.local_messages += 1
+            return NocstarTraversal(
+                ready=now, hops=0, setup_retries=0, traversal_cycles=0, links=()
+            )
+        path = tuple(self.topology.xy_path(src, dst))
+        hops = len(path)
+        duration = self.traversal_cycles(hops)
+        earliest = now if speculative_setup else now + 1
+        start = earliest
+        while not self._path_free(path, start, duration):
+            start += 1
+        retries = start - earliest
+        for link in path:
+            occupied = self._occupied.setdefault(link, set())
+            occupied.update(range(start, start + duration))
+            if hold:
+                self._held[link] = start + duration
+        # Every setup attempt broadcasts a request to all path arbiters.
+        self.control_requests += hops * (retries + 1)
+        self.total_hops += hops
+        self.total_setup_retries += retries
+        if retries == 0:
+            self.uncontended_messages += 1
+        return NocstarTraversal(
+            ready=start + duration,
+            hops=hops,
+            setup_retries=retries,
+            traversal_cycles=duration,
+            links=path,
+        )
+
+    def _path_free(self, path: Tuple[Link, ...], start: int, duration: int) -> bool:
+        """True if every link is free for [start, start+duration).
+
+        Arbitrating over a link that is currently *held* (round-trip
+        acquisition in flight) is a protocol error: the holder releases
+        before the next transaction is issued, so a held link at send
+        time means the caller broke the hold/release discipline — and
+        waiting for it would never terminate (the release time is not
+        yet known).
+        """
+        cycles = range(start, start + duration)
+        for link in path:
+            held_from = self._held.get(link)
+            if held_from is not None and start + duration > held_from:
+                raise RuntimeError(
+                    f"link {link} is held by an unreleased round-trip "
+                    "acquisition; release() it before arbitrating again"
+                )
+            occupied = self._occupied.get(link)
+            if occupied and any(cycle in occupied for cycle in cycles):
+                return False
+        return True
+
+    def release(self, links: Tuple[Link, ...], at: int) -> None:
+        """Release round-trip-held links at cycle ``at``.
+
+        The held window is converted into explicit occupancy so that
+        slightly out-of-order requests (see class docstring) still see
+        the hold."""
+        for link in links:
+            held_from = self._held.pop(link, None)
+            if held_from is not None:
+                self._occupied.setdefault(link, set()).update(
+                    range(held_from, at)
+                )
+
+    def round_trip(
+        self,
+        src: int,
+        dst: int,
+        now: int,
+        service_cycles: int,
+    ) -> Tuple[int, int]:
+        """Complete remote transaction; returns (response_ready, retries).
+
+        Dispatches on the configured acquisition mode: one-way arbitrates
+        separately for request and response (response setup speculative,
+        §III-C); round-trip holds the request path's links until the
+        response lands.
+        """
+        if self.config.acquire == ROUND_TRIP:
+            request = self.send(src, dst, now, hold=True)
+            lookup_done = request.ready + service_cycles
+            # The response reuses the held path: no second arbitration.
+            response_ready = lookup_done + request.traversal_cycles
+            self.release(request.links, response_ready)
+            if request.links:
+                self.messages += 1  # the response is still a message
+                self.total_hops += request.hops
+                self.uncontended_messages += 1
+            return response_ready, request.setup_retries
+        request = self.send(src, dst, now)
+        lookup_done = request.ready + service_cycles
+        response = self.send(dst, src, lookup_done, speculative_setup=True)
+        return response.ready, request.setup_retries + response.setup_retries
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def mean_setup_retries(self) -> float:
+        sent = self.messages - self.local_messages
+        return self.total_setup_retries / sent if sent else 0.0
+
+    @property
+    def no_contention_fraction(self) -> float:
+        sent = self.messages - self.local_messages
+        return self.uncontended_messages / sent if sent else 1.0
+
+    def control_wires_per_core(self) -> int:
+        """Fan-out of control wires per core under XY routing."""
+        return control_fanout(self.topology.rows, self.topology.cols)
+
+    def reset(self) -> None:
+        self._occupied.clear()
+        self._held.clear()
+        self.messages = self.local_messages = 0
+        self.total_hops = self.total_setup_retries = 0
+        self.uncontended_messages = 0
+        self.control_requests = 0

@@ -1,0 +1,30 @@
+"""Energy/power/area accounting for the translation path."""
+
+from repro.energy.components import (
+    ARBITERS_AREA_MM2,
+    ARBITERS_POWER_MW,
+    DEFAULT_PARAMS,
+    EnergyParams,
+    SRAM_SLICE_AREA_MM2,
+    SRAM_SLICE_POWER_MW,
+    SWITCH_AREA_MM2,
+    SWITCH_POWER_MW,
+)
+from repro.energy.message import DESIGNS, message_energy_pj
+from repro.energy.model import EnergyBreakdown, EnergyModel, percent_energy_saved
+
+__all__ = [
+    "ARBITERS_AREA_MM2",
+    "ARBITERS_POWER_MW",
+    "DEFAULT_PARAMS",
+    "EnergyParams",
+    "SRAM_SLICE_AREA_MM2",
+    "SRAM_SLICE_POWER_MW",
+    "SWITCH_AREA_MM2",
+    "SWITCH_POWER_MW",
+    "DESIGNS",
+    "message_energy_pj",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "percent_energy_saved",
+]

@@ -1,0 +1,60 @@
+"""Analytic per-message energy vs hop count — Fig 11(b).
+
+For each shared-TLB organisation, the energy of one L2 TLB access that
+travels ``hops`` hops, broken down the way the paper plots it:
+Link / Switch / Control / SRAM.
+
+* Monolithic pays a big-SRAM read plus buffered-router mesh hops.
+* Distributed pays a slice-sized read plus the same mesh hops.
+* NOCSTAR pays a slice read, cheap latchless mux hops, and a control
+  premium — one arbiter request per link arbitrated simultaneously
+  (traversing 14 hops in a cycle needs 14 parallel arbitrations,
+  §III-D) — which the latency-driven savings elsewhere outweigh.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.energy.components import DEFAULT_PARAMS, EnergyParams
+from repro.mem import sram
+
+DESIGNS = ("monolithic", "distributed", "nocstar")
+
+
+def message_energy_pj(
+    design: str,
+    hops: int,
+    num_cores: int = 32,
+    slice_entries: int = 1024,
+    nocstar_slice_entries: int = 920,
+    params: EnergyParams = DEFAULT_PARAMS,
+) -> Dict[str, float]:
+    """Energy breakdown (pJ) of one shared-L2 access over ``hops`` hops."""
+    if hops < 0:
+        raise ValueError("hop count cannot be negative")
+    if design == "monolithic":
+        breakdown = {
+            "sram": sram.read_energy_pj(slice_entries * num_cores),
+            "link": params.link_hop_pj * hops,
+            "switch": params.router_hop_pj * hops,
+            "control": 0.0,
+        }
+    elif design == "distributed":
+        breakdown = {
+            "sram": sram.read_energy_pj(slice_entries),
+            "link": params.link_hop_pj * hops,
+            "switch": params.router_hop_pj * hops,
+            "control": 0.0,
+        }
+    elif design == "nocstar":
+        breakdown = {
+            "sram": sram.read_energy_pj(nocstar_slice_entries),
+            "link": params.link_hop_pj * hops,
+            "switch": params.nocstar_switch_hop_pj * hops,
+            "control": params.control_request_pj * hops,
+        }
+    else:
+        raise ValueError(f"unknown design: {design}")
+    breakdown["total"] = sum(breakdown.values())
+    return breakdown

@@ -1,0 +1,116 @@
+"""Address-translation energy accounting (McPAT-style event counting).
+
+The simulator reports every translation-path event here; at the end of
+a run :meth:`EnergyModel.breakdown` holds the dynamic + static energy
+breakdown used by Fig 14 (percent of translation energy saved vs the
+private-L2 baseline) and Fig 11(b) (per-message energy vs hops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.energy.components import (
+    DEFAULT_PARAMS,
+    EnergyParams,
+    PJ_PER_MW_CYCLE,
+)
+from repro.mem import sram
+
+
+@dataclass
+class EnergyBreakdown:
+    """Dynamic energy by component plus leakage, picojoules."""
+
+    sram_pj: float = 0.0
+    link_pj: float = 0.0
+    switch_pj: float = 0.0
+    control_pj: float = 0.0
+    walk_pj: float = 0.0
+    static_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.sram_pj
+            + self.link_pj
+            + self.switch_pj
+            + self.control_pj
+            + self.walk_pj
+            + self.static_pj
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "sram": self.sram_pj,
+            "link": self.link_pj,
+            "switch": self.switch_pj,
+            "control": self.control_pj,
+            "walk": self.walk_pj,
+            "static": self.static_pj,
+            "total": self.total_pj,
+        }
+
+
+class EnergyModel:
+    """Accumulates translation-path energy for one simulation run."""
+
+    def __init__(
+        self,
+        params: EnergyParams = DEFAULT_PARAMS,
+        static_power_mw: float = 0.0,
+    ) -> None:
+        self.params = params
+        self.static_power_mw = static_power_mw
+        self.breakdown = EnergyBreakdown()
+
+    # -- TLB arrays -----------------------------------------------------
+
+    def l1_lookup(self, count: int = 1) -> None:
+        self.breakdown.sram_pj += self.params.l1_tlb_pj * count
+
+    def l2_lookup(self, entries: int, count: int = 1) -> None:
+        self.breakdown.sram_pj += sram.read_energy_pj(entries) * count
+
+    # -- Interconnect ----------------------------------------------------
+
+    def mesh_hops(self, hops: int) -> None:
+        """Mesh/SMART hops: repeated wire + buffered router per hop."""
+        self.breakdown.link_pj += self.params.link_hop_pj * hops
+        self.breakdown.switch_pj += self.params.router_hop_pj * hops
+
+    def nocstar_hops(self, hops: int) -> None:
+        """NOCSTAR hops: same wire, but a latchless mux per hop."""
+        self.breakdown.link_pj += self.params.link_hop_pj * hops
+        self.breakdown.switch_pj += self.params.nocstar_switch_hop_pj * hops
+
+    def control(self, arbiter_requests: int) -> None:
+        self.breakdown.control_pj += (
+            self.params.control_request_pj * arbiter_requests
+        )
+
+    # -- Page walks -------------------------------------------------------
+
+    def walk_levels(self, levels) -> None:
+        cache_pj = self.params.cache_pj
+        for level in levels:
+            self.breakdown.walk_pj += cache_pj[level]
+
+    # -- Leakage ----------------------------------------------------------
+
+    def finalize(self, cycles: int) -> None:
+        self.breakdown.static_pj += (
+            self.static_power_mw * PJ_PER_MW_CYCLE * cycles
+        )
+
+    @property
+    def total_pj(self) -> float:
+        return self.breakdown.total_pj
+
+
+def percent_energy_saved(baseline_pj: float, config_pj: float) -> float:
+    """Fig 14 right: percent of translation energy saved vs baseline."""
+    if baseline_pj <= 0:
+        raise ValueError("baseline energy must be positive")
+    return 100.0 * (1.0 - config_pj / baseline_pj)

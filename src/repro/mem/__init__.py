@@ -1,0 +1,22 @@
+"""Memory-side models: SRAM scaling and the data-cache hierarchy."""
+
+from repro.mem.cache import Cache, CacheHierarchy, CacheLatencies, LINE_BYTES
+from repro.mem.sram import (
+    budget,
+    fig3_lookup_cycles,
+    lookup_cycles,
+    read_energy_pj,
+    SramBudget,
+)
+
+__all__ = [
+    "Cache",
+    "CacheHierarchy",
+    "CacheLatencies",
+    "LINE_BYTES",
+    "budget",
+    "fig3_lookup_cycles",
+    "lookup_cycles",
+    "read_energy_pj",
+    "SramBudget",
+]

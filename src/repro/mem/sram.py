@@ -1,0 +1,82 @@
+"""SRAM latency / area / power scaling model.
+
+The paper characterises TLB SRAM arrays with TSMC 28nm memory compilers
+(post-synthesis, Fig 3): a 1536-entry array (Skylake private L2 TLB)
+takes 9 cycles, and a 32x1536-entry array takes ~15 cycles.  The curve
+is logarithmic in capacity, which we fit as::
+
+    cycles(entries) = BASE_CYCLES + SLOPE * log2(entries / BASE_ENTRIES)
+
+with ``BASE_ENTRIES`` = 1024 (the Haswell private L2 TLB the paper's
+methodology uses at 9 cycles, §IV), ``SLOPE`` = 1.2 cycles per doubling
+(matching Fig 3's 9 -> 15 cycles over 5 doublings).
+
+Area and power per tile come from the paper's Fig 9 place-and-route
+numbers and scale linearly (power) / linearly (area) with capacity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Entry count whose lookup takes BASE_CYCLES (Haswell private L2 TLB).
+BASE_ENTRIES = 1024
+BASE_CYCLES = 9.0
+#: Extra lookup cycles per doubling of capacity (fit to Fig 3).
+SLOPE = 1.2
+#: Fig 3 plots sizes relative to a 1536-entry Skylake private L2 TLB.
+FIG3_BASE_ENTRIES = 1536
+
+#: Fig 9 per-tile numbers for a 1024-entry-class slice (28nm TSMC).
+SLICE_POWER_MW = 10.91
+SLICE_AREA_MM2 = 0.4646
+#: Dynamic read energy of a BASE_ENTRIES-sized array, picojoules.
+BASE_READ_ENERGY_PJ = 12.0
+
+
+def lookup_cycles(entries: int) -> int:
+    """SRAM lookup latency in cycles for an ``entries``-sized TLB array."""
+    if entries <= 0:
+        raise ValueError("SRAM must have at least one entry")
+    cycles = BASE_CYCLES + SLOPE * math.log2(entries / BASE_ENTRIES)
+    return max(1, round(cycles))
+
+
+def fig3_lookup_cycles(relative_size: float) -> float:
+    """Fig 3's y-axis: latency for a TLB ``relative_size`` x 1536 entries.
+
+    Returned unrounded so the bench can report the fitted curve.
+    """
+    if relative_size <= 0:
+        raise ValueError("relative size must be positive")
+    entries = relative_size * FIG3_BASE_ENTRIES
+    return BASE_CYCLES + SLOPE * math.log2(entries / BASE_ENTRIES)
+
+
+def read_energy_pj(entries: int) -> float:
+    """Dynamic energy of one read, scaling ~sqrt with capacity.
+
+    Wordline/bitline energy grows roughly with the array's linear
+    dimension, i.e. sqrt(capacity) for a square array.
+    """
+    if entries <= 0:
+        raise ValueError("SRAM must have at least one entry")
+    return BASE_READ_ENERGY_PJ * math.sqrt(entries / BASE_ENTRIES)
+
+
+@dataclass(frozen=True)
+class SramBudget:
+    """Static power (mW) and area (mm^2) of one SRAM array."""
+
+    power_mw: float
+    area_mm2: float
+
+
+def budget(entries: int) -> SramBudget:
+    """Leakage power and area of an ``entries``-sized array (linear scale)."""
+    scale = entries / BASE_ENTRIES
+    return SramBudget(
+        power_mw=SLICE_POWER_MW * scale,
+        area_mm2=SLICE_AREA_MM2 * scale,
+    )

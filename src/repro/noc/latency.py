@@ -1,0 +1,87 @@
+"""Analytic NoC latency: T = H*(tr + tw) + sum tc(h) + Ts  (§II-F).
+
+``H`` is hop count, ``tr`` router delay, ``tw`` wire delay, ``tc``
+per-hop contention, and ``Ts`` serialisation delay of a wide packet on
+narrow links.  Per-design parameter sets reproduce Table I's
+qualitative comparison and Fig 11a's latency-vs-hops curves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class NocParams:
+    """Latency parameters of one interconnect design."""
+
+    name: str
+    router_cycles: int = 1  # tr
+    wire_cycles: int = 1  # tw
+    serialization_cycles: int = 0  # Ts
+    #: Hops traversable per cycle (1 = store-and-forward mesh;
+    #: HPCmax for SMART/NOCSTAR bypass paths).
+    hops_per_cycle: int = 1
+    #: Fixed cycles to set up the path before data moves (NOCSTAR's
+    #: control cycle; SMART's SSR broadcast).
+    setup_cycles: int = 0
+
+    def latency(self, hops: int, contention: Sequence[int] = ()) -> int:
+        """Message latency over ``hops`` with per-hop contention delays."""
+        if hops < 0:
+            raise ValueError("hop count cannot be negative")
+        if hops == 0:
+            return self.serialization_cycles
+        if self.hops_per_cycle > 1:
+            transit = math.ceil(hops / self.hops_per_cycle)
+        else:
+            transit = hops * (self.router_cycles + self.wire_cycles)
+        return (
+            self.setup_cycles
+            + transit
+            + sum(contention)
+            + self.serialization_cycles
+        )
+
+
+#: Multi-hop mesh: 1-cycle router + 1-cycle link per hop.
+MESH = NocParams(name="mesh", router_cycles=1, wire_cycles=1)
+
+#: SMART: dynamic bypass up to HPCmax hops/cycle, 1 setup cycle for SSRs.
+def smart_params(hpc_max: int = 8) -> NocParams:
+    return NocParams(
+        name=f"smart-hpc{hpc_max}",
+        hops_per_cycle=hpc_max,
+        setup_cycles=1,
+    )
+
+
+#: NOCSTAR: latchless circuit-switched path, 1 control cycle to arbitrate.
+def nocstar_params(hpc_max: int = 16) -> NocParams:
+    return NocParams(
+        name=f"nocstar-hpc{hpc_max}",
+        hops_per_cycle=hpc_max,
+        setup_cycles=1,
+    )
+
+
+#: Bus: single shared medium — one hop, but every transfer serialises.
+BUS = NocParams(name="bus", router_cycles=0, wire_cycles=2, serialization_cycles=0)
+
+#: Flattened butterfly, full-width links: express links bring any
+#: destination within ~2 hops (one per dimension), each a long link off
+#: a high-radix crossbar.
+FBFLY_WIDE = NocParams(name="fbfly-wide", router_cycles=1, wire_cycles=1)
+
+#: Flattened butterfly, narrow links: same topology, quarter-width
+#: datapath, so each packet pays serialisation.
+FBFLY_NARROW = NocParams(
+    name="fbfly-narrow", router_cycles=1, wire_cycles=1, serialization_cycles=4
+)
+
+
+def fbfly_hops(mesh_hops: int) -> int:
+    """Express links give a flattened butterfly ~2 hops max (1 per dim)."""
+    return min(mesh_hops, 2) if mesh_hops else 0

@@ -1,0 +1,89 @@
+"""Multi-hop mesh network models.
+
+Two flavours:
+
+* :class:`ContentionFreeMesh` — the paper's baseline for the
+  distributed / monolithic configurations: "we place enough buffers and
+  links in the system to prevent link contention" (§IV), so a message
+  deterministically takes ``hops * (tr + tw)`` cycles.
+* :class:`ContendedMesh` — per-link wormhole occupancy for studies that
+  *do* want mesh queueing (Fig 11c's latency-vs-injection comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.noc.topology import Link, MeshTopology
+
+
+@dataclass(frozen=True)
+class Traversal:
+    """Outcome of sending one message."""
+
+    arrival: int
+    hops: int
+    queue_cycles: int = 0
+    links: Tuple[Link, ...] = ()
+
+
+class ContentionFreeMesh:
+    """Deterministic mesh: tr + tw cycles per hop, no queueing."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        router_cycles: int = 1,
+        wire_cycles: int = 1,
+    ) -> None:
+        self.topology = topology
+        self.cycles_per_hop = router_cycles + wire_cycles
+        self.messages = 0
+        self.total_hops = 0
+
+    def send(self, src: int, dst: int, now: int) -> Traversal:
+        hops = self.topology.hops(src, dst)
+        self.messages += 1
+        self.total_hops += hops
+        return Traversal(arrival=now + hops * self.cycles_per_hop, hops=hops)
+
+
+class ContendedMesh:
+    """Mesh with per-link occupancy: messages queue at busy links.
+
+    Each hop needs its outgoing link for one cycle after the router
+    stage; a busy link stalls the message (credit/VC detail abstracted
+    into per-link serialisation, which captures first-order queueing).
+    """
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        router_cycles: int = 1,
+        wire_cycles: int = 1,
+    ) -> None:
+        self.topology = topology
+        self.router_cycles = router_cycles
+        self.wire_cycles = wire_cycles
+        self._link_free: Dict[Link, int] = {}
+        self.messages = 0
+        self.total_queue_cycles = 0
+
+    def send(self, src: int, dst: int, now: int) -> Traversal:
+        path = self.topology.xy_path(src, dst)
+        t = now
+        queued = 0
+        for link in path:
+            t += self.router_cycles
+            free_at = self._link_free.get(link, 0)
+            if free_at > t:
+                queued += free_at - t
+                t = free_at
+            self._link_free[link] = t + self.wire_cycles
+            t += self.wire_cycles
+        self.messages += 1
+        self.total_queue_cycles += queued
+        return Traversal(
+            arrival=t, hops=len(path), queue_cycles=queued, links=tuple(path)
+        )

@@ -1,0 +1,76 @@
+"""SMART NoC model [HPCA'13], the monolithic configuration's fast NoC.
+
+SMART lets a flit dynamically build a multi-hop bypass path over a
+mesh, covering up to HPCmax hops per cycle.  Unlike NOCSTAR's
+circuit-switched paths, SMART bypasses are *not guaranteed*: SSR
+(SMART-hop setup request) conflicts force the flit to stop and get
+latched at an intermediate router, paying a router traversal before
+re-arbitrating (§II-F, Table I).
+
+The model reserves the links of each HPC segment; a conflicting link
+splits the segment at the conflict point — exactly a SMART "premature
+stop"."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.noc.mesh import Traversal
+from repro.noc.topology import Link, MeshTopology
+
+
+class SmartNetwork:
+    """SMART mesh with HPCmax bypass and conflict-induced stops."""
+
+    def __init__(self, topology: MeshTopology, hpc_max: int = 8) -> None:
+        if hpc_max < 1:
+            raise ValueError("HPCmax must be at least 1")
+        self.topology = topology
+        self.hpc_max = hpc_max
+        #: link -> cycles during which it carries a flit (per-cycle
+        #: occupancy; see the reservation note in repro.core.nocstar).
+        self._occupied: Dict[Link, set] = {}
+        self.messages = 0
+        self.total_hops = 0
+        self.premature_stops = 0
+        self.total_queue_cycles = 0
+
+    def _free(self, link: Link, cycle: int) -> bool:
+        occupied = self._occupied.get(link)
+        return not occupied or cycle not in occupied
+
+    def send(self, src: int, dst: int, now: int) -> Traversal:
+        path = self.topology.xy_path(src, dst)
+        self.messages += 1
+        self.total_hops += len(path)
+        if not path:
+            return Traversal(arrival=now, hops=0)
+        # One SSR setup cycle precedes the first data cycle.
+        t = now + 1
+        queued = 0
+        index = 0
+        while index < len(path):
+            segment = path[index : index + self.hpc_max]
+            # The bypass extends as far as contiguous free links allow.
+            advanced = 0
+            for link in segment:
+                if not self._free(link, t):
+                    break
+                advanced += 1
+            if advanced == 0:
+                # Blocked at the router: retry the next cycle.
+                queued += 1
+                t += 1
+                continue
+            for link in segment[:advanced]:
+                self._occupied.setdefault(link, set()).add(t)
+            t += 1  # the bypass segment crosses in one cycle
+            index += advanced
+            if advanced < len(segment):
+                # Premature stop: latched at an intermediate router.
+                self.premature_stops += 1
+                t += 1  # router traversal + re-arbitration
+        self.total_queue_cycles += queued
+        return Traversal(
+            arrival=t, hops=len(path), queue_cycles=queued, links=tuple(path)
+        )

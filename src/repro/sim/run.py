@@ -1,0 +1,120 @@
+"""High-level run harness: suites, comparisons, speedups.
+
+Everything the benches need: build a workload once, run it through a
+lineup of configurations, and report speedups versus the private-L2
+baseline — the paper's metric throughout §V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.sim import configs as cfg
+from repro.sim.engine import ShootdownTraffic, StormConfig, simulate
+from repro.sim.results import RunResult, geometric_mean
+from repro.workloads.generators import build_multithreaded
+from repro.workloads.registry import WORKLOAD_NAMES, get_workload
+from repro.workloads.trace import Workload
+
+
+@dataclass
+class Comparison:
+    """Results of one workload across several configurations."""
+
+    workload_name: str
+    results: Dict[str, RunResult]
+    baseline_name: str = "private"
+
+    @property
+    def baseline(self) -> RunResult:
+        return self.results[self.baseline_name]
+
+    def speedup(self, config_name: str) -> float:
+        return self.results[config_name].speedup_over(self.baseline)
+
+    def speedups(self) -> Dict[str, float]:
+        return {
+            name: result.speedup_over(self.baseline)
+            for name, result in self.results.items()
+            if name != self.baseline_name
+        }
+
+    def misses_eliminated_pct(self, config_name: str) -> float:
+        """Fig 2's metric: % of private L2 misses the shared TLB removes."""
+        private_misses = self.baseline.stats.l2_misses
+        shared_misses = self.results[config_name].stats.l2_misses
+        if private_misses == 0:
+            return 0.0
+        return 100.0 * (1.0 - shared_misses / private_misses)
+
+
+def compare(
+    workload: Workload,
+    configurations: Sequence[cfg.SystemConfig],
+    baseline_name: str = "private",
+    storm: Optional[StormConfig] = None,
+    shootdown: Optional[ShootdownTraffic] = None,
+    record_intervals: bool = False,
+) -> Comparison:
+    """Run one workload on every configuration."""
+    results = {}
+    for configuration in configurations:
+        results[configuration.name] = simulate(
+            configuration,
+            workload,
+            storm=storm,
+            shootdown=shootdown,
+            record_intervals=record_intervals,
+        )
+    if baseline_name not in results:
+        raise ValueError(f"no baseline {baseline_name!r} in the lineup")
+    return Comparison(workload.name, results, baseline_name)
+
+
+def run_suite(
+    configurations: Sequence[cfg.SystemConfig],
+    num_cores: int,
+    workload_names: Optional[Iterable[str]] = None,
+    accesses_per_core: int = 12_000,
+    seed: int = 1,
+    superpages: bool = True,
+    smt: int = 1,
+    baseline_name: str = "private",
+) -> Dict[str, Comparison]:
+    """The paper's standard sweep: every workload through a lineup."""
+    names = list(workload_names or WORKLOAD_NAMES)
+    out = {}
+    for name in names:
+        workload = build_multithreaded(
+            get_workload(name),
+            num_cores,
+            accesses_per_core=accesses_per_core,
+            seed=seed,
+            superpages=superpages,
+            smt=smt,
+        )
+        out[name] = compare(workload, configurations, baseline_name)
+    return out
+
+
+@dataclass(frozen=True)
+class SpeedupSummary:
+    """Min / average / max speedups across a suite (Table III rows)."""
+
+    config_name: str
+    minimum: float
+    average: float
+    maximum: float
+
+
+def summarize_speedups(
+    comparisons: Dict[str, Comparison], config_name: str
+) -> SpeedupSummary:
+    speedups = [c.speedup(config_name) for c in comparisons.values()]
+    return SpeedupSummary(
+        config_name=config_name,
+        minimum=min(speedups),
+        average=sum(speedups) / len(speedups),
+        maximum=max(speedups),
+    )

@@ -1,0 +1,28 @@
+"""TLB structures: arrays, L1 groups, private/shared L2s, prefetch, shootdown."""
+
+from repro.tlb.l1 import L1Tlb, L1TlbConfig
+from repro.tlb.l2_private import L2TlbConfig, PrivateL2Tlb
+from repro.tlb.l2_shared import DistributedSharedTlb, MonolithicSharedTlb
+from repro.tlb.prefetch import SequentialPrefetcher
+from repro.tlb.set_assoc import SetAssociativeTLB
+from repro.tlb.shootdown import (
+    InvalidationController,
+    ShootdownMessage,
+    ShootdownPlan,
+)
+from repro.tlb.stats import TlbStats
+
+__all__ = [
+    "L1Tlb",
+    "L1TlbConfig",
+    "L2TlbConfig",
+    "PrivateL2Tlb",
+    "DistributedSharedTlb",
+    "MonolithicSharedTlb",
+    "SequentialPrefetcher",
+    "SetAssociativeTLB",
+    "InvalidationController",
+    "ShootdownMessage",
+    "ShootdownPlan",
+    "TlbStats",
+]

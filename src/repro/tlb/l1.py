@@ -1,0 +1,91 @@
+"""Per-core L1 TLBs, split by page size as on Intel Haswell (§IV).
+
+Haswell keeps separate single-cycle L1 TLBs per page size: 64-entry
+4-way for 4KB pages, 32-entry 4-way for 2MB pages, and a 4-entry array
+for 1GB pages, all accessed in parallel with the VIPT L1 cache.  The
+simulator knows the backing page size of each reference (the lookups
+happen in parallel in hardware), so it probes the matching array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.tlb.set_assoc import SetAssociativeTLB
+from repro.vm.address import PAGE_1G, PAGE_2M, PAGE_4K, translation_vpn
+
+
+@dataclass(frozen=True)
+class L1TlbConfig:
+    """Entry counts / associativity of the per-page-size L1 arrays."""
+
+    entries_4k: int = 64
+    ways_4k: int = 4
+    entries_2m: int = 32
+    ways_2m: int = 4
+    entries_1g: int = 4
+    ways_1g: int = 4
+    lookup_cycles: int = 1
+
+    def scaled(self, factor: float) -> "L1TlbConfig":
+        """Scale L1 capacities (Fig 6's 0.5x / 1.5x L1 sweeps)."""
+
+        def scale(entries: int, ways: int) -> int:
+            return max(ways, int(round(entries * factor / ways)) * ways)
+
+        return L1TlbConfig(
+            entries_4k=scale(self.entries_4k, self.ways_4k),
+            ways_4k=self.ways_4k,
+            entries_2m=scale(self.entries_2m, self.ways_2m),
+            ways_2m=self.ways_2m,
+            entries_1g=scale(self.entries_1g, self.ways_1g),
+            ways_1g=self.ways_1g,
+            lookup_cycles=self.lookup_cycles,
+        )
+
+
+class L1Tlb:
+    """The three per-page-size L1 arrays of one core."""
+
+    def __init__(self, config: L1TlbConfig = L1TlbConfig()) -> None:
+        self.config = config
+        self._arrays: Dict[int, SetAssociativeTLB] = {
+            PAGE_4K: SetAssociativeTLB(config.entries_4k, config.ways_4k, "l1-4k"),
+            PAGE_2M: SetAssociativeTLB(config.entries_2m, config.ways_2m, "l1-2m"),
+            PAGE_1G: SetAssociativeTLB(
+                config.entries_1g, min(config.ways_1g, config.entries_1g), "l1-1g"
+            ),
+        }
+
+    def array(self, page_size: int) -> SetAssociativeTLB:
+        return self._arrays[page_size]
+
+    def lookup(self, asid: int, vpn: int, page_size: int) -> bool:
+        """Probe the matching array with the size-granular page number."""
+        return self._arrays[page_size].lookup(
+            asid, page_size, translation_vpn(vpn, page_size)
+        )
+
+    def insert(self, asid: int, vpn: int, page_size: int) -> None:
+        self._arrays[page_size].insert(
+            asid, page_size, translation_vpn(vpn, page_size)
+        )
+
+    def invalidate(self, asid: int, page_size: int, page_number: int) -> bool:
+        return self._arrays[page_size].invalidate(asid, page_size, page_number)
+
+    def flush(self) -> int:
+        return sum(array.flush() for array in self._arrays.values())
+
+    @property
+    def hits(self) -> int:
+        return sum(array.hits for array in self._arrays.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(array.misses for array in self._arrays.values())
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses

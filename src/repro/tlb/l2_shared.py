@@ -1,0 +1,231 @@
+"""Shared last-level TLB structures: monolithic banked and distributed.
+
+Both organisations hold the same logical content — one copy of every
+translation, hashed to a bank/slice by low-order page-number bits
+(§III-A) — but differ physically:
+
+* :class:`MonolithicSharedTlb` is one large structure at a fixed chip
+  location, split into a few banks (Fig 1c; the paper settles on 4
+  banks for 16/32 cores, 8 for 64).  Its lookup latency is that of the
+  large SRAM array.
+* :class:`DistributedSharedTlb` is an array of per-tile slices (Fig 1d),
+  each the size of (or, for NOCSTAR's area-normalised configuration,
+  slightly smaller than) a private L2 TLB, so each lookup is fast; the
+  cost moves into the interconnect, which the simulator layer models.
+
+Port contention (2R/1W, pipelined — one access can start per cycle per
+port, §IV) is tracked here via per-bank/slice reservation state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.indexing import IndexFn, modulo_index
+from repro.mem import sram
+from repro.tlb.set_assoc import Key, SetAssociativeTLB
+from repro.vm.address import PAGE_1G, translation_vpn
+
+#: Extra cycles for the bank-select mux / H-tree of a banked monolith.
+BANK_MUX_CYCLES = 2
+
+
+class _PortSet:
+    """Pipelined access ports: one new access per port per cycle.
+
+    Occupancy is tracked per cycle (not as a busy-until watermark) so
+    the engine's bounded out-of-order reservations only conflict when
+    two accesses genuinely claim the same cycle — see the reservation
+    note in :mod:`repro.core.nocstar`.
+    """
+
+    def __init__(self, num_ports: int) -> None:
+        self.num_ports = num_ports
+        self._starts: Dict[int, int] = {}  # cycle -> accesses started
+        self.conflict_cycles = 0
+
+    def reserve(self, now: int) -> int:
+        """Return the cycle the access can start (>= now)."""
+        start = now
+        starts = self._starts
+        while starts.get(start, 0) >= self.num_ports:
+            start += 1
+        starts[start] = starts.get(start, 0) + 1
+        self.conflict_cycles += start - now
+        return start
+
+    def reserve_many(self, now: int, count: int) -> int:
+        """Back-to-back accesses (invalidation sweeps); returns last cycle."""
+        last = now
+        for _ in range(count):
+            last = self.reserve(last)
+        return last
+
+
+class _ShardedTlb:
+    """Common machinery: N arrays selected by low page-number bits."""
+
+    def __init__(
+        self,
+        total_entries: int,
+        ways: int,
+        num_shards: int,
+        name: str,
+        read_ports: int = 2,
+        write_ports: int = 1,
+        indexer: IndexFn = modulo_index,
+    ) -> None:
+        if total_entries % num_shards:
+            raise ValueError("entries must divide evenly across shards")
+        self.num_shards = num_shards
+        self._indexer = indexer
+        self.entries_per_shard = total_entries // num_shards
+        shift = max(num_shards - 1, 0).bit_length()  # log2 for power of two
+        self.shards: List[SetAssociativeTLB] = [
+            SetAssociativeTLB(
+                self.entries_per_shard, ways, f"{name}[{i}]", index_shift=shift
+            )
+            for i in range(num_shards)
+        ]
+        self.read_ports = [_PortSet(read_ports) for _ in range(num_shards)]
+        self.write_ports = [_PortSet(write_ports) for _ in range(num_shards)]
+
+    def home(self, page_number: int, asid: int = 0) -> int:
+        """Shard holding a translation (configurable indexing, §III-A)."""
+        return self._indexer(asid, page_number, self.num_shards)
+
+    @staticmethod
+    def caches(page_size: int) -> bool:
+        return page_size != PAGE_1G
+
+    def lookup(self, asid: int, vpn: int, page_size: int) -> Tuple[bool, int]:
+        """Probe; returns (hit, shard index)."""
+        page_number = translation_vpn(vpn, page_size)
+        shard = self.home(page_number, asid)
+        if not self.caches(page_size):
+            self.shards[shard].misses += 1
+            return False, shard
+        return self.shards[shard].lookup(asid, page_size, page_number), shard
+
+    def insert(self, asid: int, vpn: int, page_size: int) -> Optional[Key]:
+        if not self.caches(page_size):
+            return None
+        page_number = translation_vpn(vpn, page_size)
+        return self.shards[self.home(page_number, asid)].insert(
+            asid, page_size, page_number
+        )
+
+    def insert_page_number(
+        self, asid: int, page_size: int, page_number: int
+    ) -> Optional[Key]:
+        """Insert by size-granular page number (prefetch path)."""
+        if not self.caches(page_size):
+            return None
+        return self.shards[self.home(page_number, asid)].insert(
+            asid, page_size, page_number
+        )
+
+    def lookup_page_number(
+        self,
+        asid: int,
+        page_size: int,
+        page_number: int,
+        shard: Optional[int] = None,
+    ) -> bool:
+        """Probe by size-granular page number (simulator fast path)."""
+        if shard is None:
+            shard = self.home(page_number, asid)
+        if not self.caches(page_size):
+            self.shards[shard].misses += 1
+            return False
+        return self.shards[shard].lookup(asid, page_size, page_number)
+
+    def probe_page_number(
+        self, asid: int, page_size: int, page_number: int
+    ) -> bool:
+        """Presence check without LRU/counter side effects."""
+        if not self.caches(page_size):
+            return False
+        return self.shards[self.home(page_number, asid)].probe(
+            asid, page_size, page_number
+        )
+
+    def invalidate(self, asid: int, page_size: int, page_number: int) -> bool:
+        return self.shards[self.home(page_number, asid)].invalidate(
+            asid, page_size, page_number
+        )
+
+    def reserve_read(self, shard: int, now: int) -> int:
+        return self.read_ports[shard].reserve(now)
+
+    def reserve_write(self, shard: int, now: int) -> int:
+        return self.write_ports[shard].reserve(now)
+
+    def flush(self) -> int:
+        return sum(shard.flush() for shard in self.shards)
+
+    @property
+    def hits(self) -> int:
+        return sum(shard.hits for shard in self.shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(shard.misses for shard in self.shards)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def total_entries(self) -> int:
+        return self.entries_per_shard * self.num_shards
+
+
+class MonolithicSharedTlb(_ShardedTlb):
+    """Fig 1c: one big banked structure at a fixed location.
+
+    Banking buys port bandwidth (one access per bank per cycle), not
+    latency: the global wordline/H-tree of the large structure still
+    dominates, so lookup latency follows the *total* capacity (the
+    paper's 32x structure takes ~16 cycles even with zero-latency
+    interconnect, Fig 4) plus the bank-select mux.
+    """
+
+    #: Extra cycles per direction to get on/off the monolithic macro:
+    #: the structure sits at one end of the chip beyond the mesh edge
+    #: (§II-C), and its request/response must cross the global H-tree
+    #: feeding a multi-bank macro the size of tens of private TLBs.
+    INGRESS_CYCLES = 8
+
+    def __init__(
+        self,
+        total_entries: int,
+        num_banks: int = 4,
+        ways: int = 8,
+        indexer: IndexFn = modulo_index,
+    ) -> None:
+        super().__init__(total_entries, ways, num_banks, "mono-bank",
+                         indexer=indexer)
+        self.lookup_cycles = sram.lookup_cycles(total_entries) + 1
+
+    @staticmethod
+    def banks_for(num_cores: int) -> int:
+        """The paper's best-performing banking: 4 banks at 16/32 cores, 8 at 64+."""
+        return 8 if num_cores >= 64 else 4
+
+
+class DistributedSharedTlb(_ShardedTlb):
+    """Fig 1d: one slice per tile; slice lookup is a small-array access."""
+
+    def __init__(
+        self,
+        num_slices: int,
+        entries_per_slice: int = 1024,
+        ways: int = 8,
+        indexer: IndexFn = modulo_index,
+    ) -> None:
+        super().__init__(
+            entries_per_slice * num_slices, ways, num_slices, "slice",
+            indexer=indexer,
+        )
+        self.lookup_cycles = sram.lookup_cycles(entries_per_slice)

@@ -1,0 +1,134 @@
+"""Set-associative TLB array with LRU replacement and modulo indexing.
+
+Matches the paper's assumptions (§III-E): lower-order virtual page
+number bits choose the set (modulo indexing), LRU replacement, and
+entries tagged with a context ID (ASID) plus a valid bit.  Entries are
+keyed ``(asid, page_size, page_number)`` so 4KB and 2MB translations
+can coexist in one array, as in Haswell's unified L2 TLB.
+
+``index_shift`` lets a distributed shared TLB skip the bits already
+consumed by slice selection, so consecutive pages spread across both
+slices and sets without aliasing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional, Tuple
+
+Key = Tuple[int, int, int]  # (asid, page_size, page_number)
+
+
+class SetAssociativeTLB:
+    """One TLB SRAM array."""
+
+    def __init__(
+        self,
+        entries: int,
+        ways: int,
+        name: str = "tlb",
+        index_shift: int = 0,
+    ) -> None:
+        if entries <= 0 or ways <= 0:
+            raise ValueError("entries and ways must be positive")
+        if ways > entries:
+            # Degenerate but legal: a fully-associative structure smaller
+            # than its nominal way count (e.g. the 4-entry 1GB L1 TLB).
+            ways = entries
+        if entries % ways:
+            raise ValueError(f"{name}: {entries} entries not divisible by {ways} ways")
+        self.name = name
+        self.entries = entries
+        self.ways = ways
+        self.num_sets = entries // ways
+        self.index_shift = index_shift
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        #: QoS way-partitioning (the paper's future-work interference
+        #: fix): when set, no ASID may occupy more than this many ways
+        #: of any set — its own LRU entry is evicted instead of another
+        #: context's.  None disables partitioning.
+        self.way_quota: Optional[int] = None
+
+    def _set_for(self, page_number: int) -> OrderedDict:
+        return self._sets[(page_number >> self.index_shift) % self.num_sets]
+
+    def lookup(self, asid: int, page_size: int, page_number: int) -> bool:
+        """Probe the array; hits refresh LRU state."""
+        cache_set = self._set_for(page_number)
+        key = (asid, page_size, page_number)
+        if key in cache_set:
+            cache_set.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def probe(self, asid: int, page_size: int, page_number: int) -> bool:
+        """Check presence without perturbing LRU state or counters."""
+        return (asid, page_size, page_number) in self._set_for(page_number)
+
+    def insert(self, asid: int, page_size: int, page_number: int) -> Optional[Key]:
+        """Install a translation; returns the evicted key, if any."""
+        cache_set = self._set_for(page_number)
+        key = (asid, page_size, page_number)
+        evicted = None
+        if key not in cache_set:
+            quota = self.way_quota
+            if quota is not None:
+                own = [k for k in cache_set if k[0] == asid]
+                if len(own) >= quota:
+                    evicted = own[0]  # the ASID's own LRU entry
+                    del cache_set[evicted]
+                    self.evictions += 1
+            if evicted is None and len(cache_set) >= self.ways:
+                evicted, _ = cache_set.popitem(last=False)
+                self.evictions += 1
+        cache_set[key] = None
+        cache_set.move_to_end(key)
+        self.insertions += 1
+        return evicted
+
+    def invalidate(self, asid: int, page_size: int, page_number: int) -> bool:
+        """Shoot down one translation; True if it was present."""
+        cache_set = self._set_for(page_number)
+        key = (asid, page_size, page_number)
+        if key in cache_set:
+            del cache_set[key]
+            return True
+        return False
+
+    def invalidate_asid(self, asid: int) -> int:
+        """Drop every translation belonging to ``asid`` (context teardown)."""
+        dropped = 0
+        for cache_set in self._sets:
+            stale = [key for key in cache_set if key[0] == asid]
+            for key in stale:
+                del cache_set[key]
+            dropped += len(stale)
+        return dropped
+
+    def flush(self) -> int:
+        """Drop everything (full-TLB flush on context switch, §V storms)."""
+        dropped = self.occupancy
+        for cache_set in self._sets:
+            cache_set.clear()
+        return dropped
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def iter_keys(self) -> Iterator[Key]:
+        for cache_set in self._sets:
+            yield from cache_set.keys()
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.insertions = self.evictions = 0

@@ -1,0 +1,91 @@
+"""TLB shootdown routing with invalidation leaders (§III-G, Fig 16R).
+
+When the OS modifies a page-table entry it IPIs every core; each core
+invalidates its private L1 TLB, and the stale shared-L2 translation
+must also be invalidated.  If every core relays its own invalidation
+to the home slice, a popular translation produces a burst of redundant
+messages converging on one slice.  NOCSTAR instead designates
+*invalidation leaders*: cores forward the request to their leader, and
+only leaders talk to the slices.
+
+This module plans the message flows for a given leader granularity;
+the simulator charges network and slice-port time for each message.
+Leader granularities mirror Fig 16R: ``per-4-core``, ``per-8-core``,
+and ``per-N-core`` (one leader for the whole chip).  Granularity 1
+degenerates to the naive every-core-relays policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ShootdownMessage:
+    """One interconnect message of a shootdown: relay or slice invalidate."""
+
+    src: int
+    dst: int
+    kind: str  # "relay" (core -> leader) or "invalidate" (leader -> slice)
+
+
+@dataclass(frozen=True)
+class ShootdownPlan:
+    """All messages of one shootdown plus local L1 work per core."""
+
+    messages: Tuple[ShootdownMessage, ...]
+    l1_invalidations: int
+
+
+class InvalidationController:
+    """Plans shootdown traffic for a leader granularity.
+
+    ``cores_per_leader`` of 1 means every core sends its own invalidate
+    to the slice (the naive policy); ``num_cores`` means one single
+    leader for the whole chip.
+    """
+
+    def __init__(self, num_cores: int, cores_per_leader: int) -> None:
+        if cores_per_leader < 1 or cores_per_leader > num_cores:
+            raise ValueError("cores_per_leader must be in [1, num_cores]")
+        self.num_cores = num_cores
+        self.cores_per_leader = cores_per_leader
+        self.shootdowns = 0
+        self.messages_sent = 0
+
+    def leader_of(self, core: int) -> int:
+        """The designated leader core for ``core``'s group."""
+        return (core // self.cores_per_leader) * self.cores_per_leader
+
+    @property
+    def leaders(self) -> List[int]:
+        return list(range(0, self.num_cores, self.cores_per_leader))
+
+    def plan(
+        self, initiator: int, home_slices: Sequence[int]
+    ) -> ShootdownPlan:
+        """Plan one shootdown touching the given home slices.
+
+        Every core receives the IPI and invalidates its L1 locally.
+        With leaders, the initiating core relays to its leader (unless
+        it *is* one), and the leader sends one invalidate per slice.
+        Without leaders (granularity 1), every core that received the
+        IPI independently relays to each slice — the congesting case.
+        """
+        self.shootdowns += 1
+        messages: List[ShootdownMessage] = []
+        if self.cores_per_leader == 1:
+            for core in range(self.num_cores):
+                for home in home_slices:
+                    messages.append(ShootdownMessage(core, home, "invalidate"))
+        else:
+            leader = self.leader_of(initiator)
+            if initiator != leader:
+                messages.append(ShootdownMessage(initiator, leader, "relay"))
+            for home in home_slices:
+                messages.append(ShootdownMessage(leader, home, "invalidate"))
+        self.messages_sent += len(messages)
+        return ShootdownPlan(
+            messages=tuple(messages), l1_invalidations=self.num_cores
+        )

@@ -1,0 +1,60 @@
+"""Aggregated TLB statistics shared by the simulator and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class TlbStats:
+    """Counters for one simulation run's translation activity."""
+
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    walks: int = 0
+    prefetches: int = 0
+    shootdown_messages: int = 0
+    flushes: int = 0
+
+    @property
+    def l1_accesses(self) -> int:
+        return self.l1_hits + self.l1_misses
+
+    @property
+    def l2_accesses(self) -> int:
+        return self.l2_hits + self.l2_misses
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.l1_misses / self.l1_accesses if self.l1_accesses else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        return self.l2_misses / self.l2_accesses if self.l2_accesses else 0.0
+
+    def merge(self, other: "TlbStats") -> None:
+        self.l1_hits += other.l1_hits
+        self.l1_misses += other.l1_misses
+        self.l2_hits += other.l2_hits
+        self.l2_misses += other.l2_misses
+        self.walks += other.walks
+        self.prefetches += other.prefetches
+        self.shootdown_messages += other.shootdown_messages
+        self.flushes += other.flushes
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "l1_hits": self.l1_hits,
+            "l1_misses": self.l1_misses,
+            "l2_hits": self.l2_hits,
+            "l2_misses": self.l2_misses,
+            "l1_miss_rate": self.l1_miss_rate,
+            "l2_miss_rate": self.l2_miss_rate,
+            "walks": self.walks,
+            "prefetches": self.prefetches,
+            "shootdown_messages": self.shootdown_messages,
+            "flushes": self.flushes,
+        }

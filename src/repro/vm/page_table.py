@@ -1,0 +1,114 @@
+"""x86-64 four-level radix page tables with synthetic physical placement.
+
+Each table node is a 4KB frame of 512 8-byte entries.  Nodes and data
+frames are allocated from a bump allocator of synthetic physical
+addresses, so the *cache-line address* of every entry a walk touches is
+well-defined — that is what the variable-latency walker feeds through
+the cache hierarchy to obtain realistic walk latencies.
+
+Shared mappings (tagged ``GLOBAL_ASID``) live in their own table, so
+their upper-level nodes — exactly like shared kernel/library page
+tables on a real system — are shared in the caches by every core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.vm.address import (
+    PAGE_1G,
+    PAGE_2M,
+    PAGE_4K,
+    PAGE_SHIFT_4K,
+    translation_vpn,
+)
+
+FRAME_BYTES = 4096
+ENTRY_BYTES = 8
+FANOUT = 512
+
+#: Radix levels from root to leaf; a 2MB page terminates at the PD
+#: (3 node accesses) and a 1GB page at the PDPT (2 node accesses).
+LEVELS = ("pml4", "pdpt", "pd", "pt")
+_LEAF_DEPTH = {PAGE_4K: 4, PAGE_2M: 3, PAGE_1G: 2}
+
+
+@dataclass(frozen=True)
+class PTE:
+    """A translation: physical page number at the mapping's granularity."""
+
+    ppn: int
+    page_size: int
+    asid: int
+
+
+class PageTable:
+    """Radix page tables for all address spaces, plus frame allocation."""
+
+    def __init__(self) -> None:
+        # (asid, level_depth, node_index_path) -> physical frame base.
+        self._nodes: Dict[Tuple[int, int, Tuple[int, ...]], int] = {}
+        self._ptes: Dict[Tuple[int, int, int], PTE] = {}
+        self._next_frame = 1  # frame 0 reserved
+        self.nodes_allocated = 0
+        self.pages_mapped = 0
+
+    def _allocate_frame(self) -> int:
+        frame = self._next_frame * FRAME_BYTES
+        self._next_frame += 1
+        return frame
+
+    def _node_frame(self, asid: int, depth: int, path: Tuple[int, ...]) -> int:
+        key = (asid, depth, path)
+        frame = self._nodes.get(key)
+        if frame is None:
+            frame = self._nodes[key] = self._allocate_frame()
+            self.nodes_allocated += 1
+        return frame
+
+    @staticmethod
+    def _indices(vpn: int) -> Tuple[int, int, int, int]:
+        """Radix indices (PML4, PDPT, PD, PT) for a 4KB VPN."""
+        return (
+            (vpn >> 27) & (FANOUT - 1),
+            (vpn >> 18) & (FANOUT - 1),
+            (vpn >> 9) & (FANOUT - 1),
+            vpn & (FANOUT - 1),
+        )
+
+    def map_page(self, asid: int, vpn: int, page_size: int) -> PTE:
+        """Ensure the translation covering 4KB VPN ``vpn`` exists."""
+        page_number = translation_vpn(vpn, page_size)
+        key = (asid, page_size, page_number)
+        pte = self._ptes.get(key)
+        if pte is None:
+            ppn = self._allocate_frame() >> PAGE_SHIFT_4K
+            pte = self._ptes[key] = PTE(ppn=ppn, page_size=page_size, asid=asid)
+            self.pages_mapped += 1
+            # Materialise the node chain so walk addresses are stable.
+            self.walk_addresses(asid, vpn, page_size)
+        return pte
+
+    def lookup(self, asid: int, vpn: int, page_size: int) -> PTE:
+        """Return the PTE covering ``vpn`` (mapping it on first touch)."""
+        return self.map_page(asid, vpn, page_size)
+
+    def walk_addresses(self, asid: int, vpn: int, page_size: int) -> List[int]:
+        """Physical addresses of the page-table entries a walk touches.
+
+        One address per radix level down to the leaf: 4 for 4KB
+        mappings, 3 for 2MB, 2 for 1GB.
+        """
+        depth = _LEAF_DEPTH[page_size]
+        indices = self._indices(vpn)
+        addresses = []
+        for level in range(depth):
+            path = indices[:level]  # path identifies the node
+            frame = self._node_frame(asid, level, path)
+            addresses.append(frame + indices[level] * ENTRY_BYTES)
+        return addresses
+
+    def unmap(self, asid: int, vpn: int, page_size: int) -> None:
+        """Drop a translation (page remapping / demotion)."""
+        self._ptes.pop((asid, page_size, translation_vpn(vpn, page_size)), None)

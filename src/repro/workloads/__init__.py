@@ -1,0 +1,35 @@
+"""Workload suite: specs, trace generators, multiprogrammed mixes."""
+
+from repro.workloads.generators import (
+    PagePool,
+    ZipfSampler,
+    build_lib_pool,
+    build_multiprogrammed,
+    build_multithreaded,
+)
+from repro.workloads.io import (
+    load_workload,
+    save_workload,
+    workload_from_records,
+)
+from repro.workloads.registry import WORKLOAD_NAMES, WORKLOADS, get_workload
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.trace import Record, Workload, flatten_streams
+
+__all__ = [
+    "PagePool",
+    "ZipfSampler",
+    "build_lib_pool",
+    "build_multiprogrammed",
+    "build_multithreaded",
+    "load_workload",
+    "save_workload",
+    "workload_from_records",
+    "WORKLOAD_NAMES",
+    "WORKLOADS",
+    "get_workload",
+    "WorkloadSpec",
+    "Record",
+    "Workload",
+    "flatten_streams",
+]

@@ -1,0 +1,37 @@
+"""Multiprogrammed workload combinations (§V, Fig 18).
+
+The paper forms all C(11, 4) = 330 combinations of four applications,
+each running 8 threads, on a 32-core system.  ``combinations_of_four``
+enumerates them deterministically in the paper's workload order;
+``sample_combinations`` picks a reproducible subset for quicker runs.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+from typing import List, Sequence, Tuple
+
+from repro.workloads.registry import WORKLOAD_NAMES
+
+Combo = Tuple[str, str, str, str]
+
+
+def combinations_of_four(
+    names: Sequence[str] = tuple(WORKLOAD_NAMES),
+) -> List[Combo]:
+    """All 4-app combinations (330 for the 11-workload suite)."""
+    return [tuple(combo) for combo in combinations(names, 4)]
+
+
+def sample_combinations(
+    count: int,
+    names: Sequence[str] = tuple(WORKLOAD_NAMES),
+    seed: int = 0,
+) -> List[Combo]:
+    """A deterministic subset of the 330 combinations."""
+    all_combos = combinations_of_four(names)
+    if count >= len(all_combos):
+        return all_combos
+    rng = random.Random(seed)
+    return rng.sample(all_combos, count)

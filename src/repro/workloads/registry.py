@@ -1,0 +1,47 @@
+"""The paper's workload suite (§IV: PARSEC, CloudSuite, gups).
+
+Pool parameters are calibrated against the paper's reported TLB
+behaviour; see :mod:`repro.workloads.spec` for the model.  Footprints
+are scaled relative to TLB reach (DESIGN.md, substitution table) —
+what matters is the footprint/TLB-capacity ratio, not absolute bytes.
+
+Character notes, mirrored from the paper:
+
+* ``canneal``, ``xsbench``, ``gups``, ``graph500`` — poor locality /
+  huge cold pools: most helped by shared TLBs at high core counts.
+* ``olio``, ``nutch``, ``swtesting`` — warmer, smaller cold tails.
+* ``gups`` — near-uniform random table updates: the TLB stress case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.spec import WorkloadSpec
+
+_SPECS = [
+    WorkloadSpec("graph500", 48, 0.91, 896, 0.045, 28672, 0.85, 0.45, 0.015, 7.0, 0.55),
+    WorkloadSpec("canneal", 64, 0.87, 1024, 0.050, 32768, 0.80, 0.30, 0.015, 6.5, 0.50),
+    WorkloadSpec("xsbench", 48, 0.86, 640, 0.060, 40960, 0.75, 0.30, 0.015, 6.5, 0.60),
+    WorkloadSpec("datacaching", 64, 0.92, 1024, 0.045, 24576, 0.95, 0.45, 0.025, 9.0, 0.60),
+    WorkloadSpec("swtesting", 64, 0.93, 768, 0.040, 20480, 1.05, 0.50, 0.030, 8.0, 0.55),
+    WorkloadSpec("graphanalytics", 48, 0.90, 896, 0.045, 28672, 0.90, 0.40, 0.020, 7.0, 0.60),
+    WorkloadSpec("nutch", 64, 0.93, 1024, 0.035, 18432, 1.05, 0.45, 0.030, 8.0, 0.50),
+    WorkloadSpec("olio", 64, 0.93, 768, 0.035, 16384, 1.10, 0.45, 0.030, 8.0, 0.50),
+    WorkloadSpec("redis", 64, 0.92, 1024, 0.040, 24576, 1.00, 0.40, 0.025, 8.0, 0.65),
+    WorkloadSpec("mongodb", 64, 0.91, 1024, 0.040, 28672, 0.95, 0.40, 0.025, 8.0, 0.60),
+    WorkloadSpec("gups", 48, 0.78, 256, 0.050, 28672, 0.00, 0.00, 0.010, 8.0, 0.70),
+]
+
+WORKLOADS: Dict[str, WorkloadSpec] = {spec.name: spec for spec in _SPECS}
+
+#: Paper figure ordering.
+WORKLOAD_NAMES: List[str] = [spec.name for spec in _SPECS]
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(WORKLOAD_NAMES)
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None

@@ -1,0 +1,108 @@
+"""Concurrency bucketing (Figs 5/6)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.contention import (
+    BUCKET_LABELS,
+    bucket_label,
+    concurrency_counts,
+    concurrency_distribution,
+    isolated_fraction,
+    merge_distributions,
+    per_slice_distribution,
+)
+
+
+def test_bucket_labels_match_paper():
+    assert BUCKET_LABELS[0] == "1 acc"
+    assert BUCKET_LABELS[1] == "2-4 acc"
+    assert BUCKET_LABELS[-1] == "29+ acc"
+
+
+def test_bucket_label_boundaries():
+    assert bucket_label(1) == "1 acc"
+    assert bucket_label(2) == bucket_label(4) == "2-4 acc"
+    assert bucket_label(5) == "5-8 acc"
+    assert bucket_label(29) == bucket_label(1000) == "29+ acc"
+    with pytest.raises(ValueError):
+        bucket_label(0)
+
+
+def test_disjoint_intervals_are_isolated():
+    intervals = [(0, 10, 0), (20, 30, 0), (40, 50, 1)]
+    assert concurrency_counts(intervals) == [1, 1, 1]
+    assert isolated_fraction(intervals) == 1.0
+
+
+def test_overlapping_intervals_counted():
+    intervals = [(0, 10, 0), (5, 15, 1), (6, 20, 2)]
+    assert concurrency_counts(intervals) == [1, 2, 3]
+
+
+def test_touching_endpoints_do_not_overlap():
+    """An access ending exactly when another starts is not concurrent."""
+    assert concurrency_counts([(0, 10, 0), (10, 20, 0)]) == [1, 1]
+
+
+def test_unsorted_input_handled():
+    intervals = [(20, 30, 0), (0, 10, 0), (5, 15, 1)]
+    assert sorted(concurrency_counts(intervals)) == [1, 1, 2]
+
+
+def test_distribution_sums_to_one():
+    intervals = [(i, i + 5, i % 4) for i in range(0, 100, 2)]
+    dist = concurrency_distribution(intervals)
+    assert sum(dist.values()) == pytest.approx(1.0)
+
+
+def test_empty_distribution():
+    dist = concurrency_distribution([])
+    assert all(v == 0.0 for v in dist.values())
+
+
+def test_per_slice_separates_slices():
+    """Two overlapping accesses on different slices: no per-slice
+    contention, but chip-wide contention."""
+    intervals = [(0, 10, 0), (2, 12, 1)]
+    chip = concurrency_distribution(intervals)
+    per_slice = per_slice_distribution(intervals)
+    assert chip["2-4 acc"] == 0.5
+    assert per_slice["1 acc"] == 1.0
+
+
+def test_merge_distributions_averages():
+    a = {label: 0.0 for label in BUCKET_LABELS}
+    b = {label: 0.0 for label in BUCKET_LABELS}
+    a["1 acc"] = 1.0
+    b["2-4 acc"] = 1.0
+    merged = merge_distributions([a, b])
+    assert merged["1 acc"] == 0.5
+    assert merged["2-4 acc"] == 0.5
+
+
+def test_merge_rejects_empty():
+    with pytest.raises(ValueError):
+        merge_distributions([])
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1000),
+            st.integers(min_value=1, max_value=50),
+            st.integers(min_value=0, max_value=7),
+        ),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_concurrency_counts_invariants(raw):
+    intervals = [(start, start + dur, sl) for start, dur, sl in raw]
+    counts = concurrency_counts(intervals)
+    assert len(counts) == len(intervals)
+    assert all(1 <= c <= len(intervals) for c in counts)
+    # Per-slice concurrency never exceeds chip-wide for the same data.
+    chip_iso = isolated_fraction(intervals)
+    per_slice = per_slice_distribution(intervals)
+    assert per_slice["1 acc"] >= chip_iso - 1e-9

@@ -1,0 +1,36 @@
+"""Table rendering helpers."""
+
+from repro.analysis.tables import fmt, render_distribution, render_series, render_table
+
+
+def test_fmt_floats_and_ints():
+    assert fmt(1.23456) == "1.235"
+    assert fmt(1.2, precision=1) == "1.2"
+    assert fmt(7) == "7"
+    assert fmt("x") == "x"
+
+
+def test_render_table_alignment():
+    out = render_table(["name", "v"], [["a", 1.0], ["longer", 2.5]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert all("|" in line for line in (lines[0], lines[2], lines[3]))
+    header_pipe = lines[0].index("|")
+    assert all(line.index("|") == header_pipe for line in lines[2:])
+
+
+def test_render_table_with_title():
+    out = render_table(["a"], [[1]], title="Fig X")
+    assert out.splitlines()[0] == "Fig X"
+
+
+def test_render_distribution_drops_zeros():
+    out = render_distribution("bar", {"1 acc": 0.5, "2-4 acc": 0.0})
+    assert "1 acc" in out and "2-4" not in out
+
+
+def test_render_series():
+    out = render_series("curve", [1, 2], [0.5, 0.75])
+    assert "curve" in out
+    assert "1 -> 0.5" in out

@@ -1,0 +1,38 @@
+"""NOCSTAR configuration validation."""
+
+import pytest
+
+from repro.core.config import NocstarConfig, ONE_WAY, ROUND_TRIP
+
+
+def test_defaults_match_paper():
+    config = NocstarConfig()
+    assert config.hpc_max == 16
+    assert config.acquire == ONE_WAY
+    assert config.priority_rotation_cycles == 1000
+    assert config.slice_entries == 920  # area-normalised Table II
+
+
+def test_round_trip_mode():
+    assert NocstarConfig(acquire=ROUND_TRIP).acquire == ROUND_TRIP
+
+
+def test_rejects_bad_hpc():
+    with pytest.raises(ValueError):
+        NocstarConfig(hpc_max=0)
+
+
+def test_rejects_unknown_acquire():
+    with pytest.raises(ValueError):
+        NocstarConfig(acquire="both-ways")
+
+
+def test_rejects_bad_rotation():
+    with pytest.raises(ValueError):
+        NocstarConfig(priority_rotation_cycles=0)
+
+
+def test_frozen():
+    config = NocstarConfig()
+    with pytest.raises(Exception):
+        config.hpc_max = 8

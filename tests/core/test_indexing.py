@@ -1,0 +1,64 @@
+"""Slice-indexing strategies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.indexing import (
+    asid_mix_index,
+    get_indexer,
+    modulo_index,
+    xor_fold_index,
+)
+
+
+def test_modulo_is_low_bits():
+    assert modulo_index(0, 0x1234, 16) == 4
+
+
+def test_get_indexer_known_and_unknown():
+    assert get_indexer("modulo") is modulo_index
+    with pytest.raises(KeyError, match="xor-fold"):
+        get_indexer("fancy")
+
+
+@given(
+    st.sampled_from([4, 8, 16, 32, 64]),
+    st.integers(min_value=0, max_value=1 << 36),
+    st.integers(min_value=0, max_value=64),
+)
+def test_all_indexers_in_range(slices, page, asid):
+    for name in ("modulo", "xor-fold", "asid-mix"):
+        index = get_indexer(name)(asid, page, slices)
+        assert 0 <= index < slices
+
+
+def test_xor_fold_breaks_power_of_two_strides():
+    """Pages strided by the slice count alias totally under modulo but
+    spread under xor-fold."""
+    slices = 16
+    pages = [base * slices for base in range(256)]
+    modulo_homes = {modulo_index(0, p, slices) for p in pages}
+    fold_homes = {xor_fold_index(0, p, slices) for p in pages}
+    assert len(modulo_homes) == 1
+    assert len(fold_homes) == slices
+
+
+def test_xor_fold_balanced_on_sequential_pages():
+    slices = 8
+    counts = [0] * slices
+    for page in range(4096):
+        counts[xor_fold_index(0, page, slices)] += 1
+    assert max(counts) - min(counts) <= 64  # near-uniform
+
+
+def test_asid_mix_decorrelates_processes():
+    """Two processes with identical layouts home differently."""
+    slices = 16
+    pages = list(range(100, 200))
+    a = [asid_mix_index(1, p, slices) for p in pages]
+    b = [asid_mix_index(2, p, slices) for p in pages]
+    assert a != b
+
+
+def test_asid_mix_deterministic():
+    assert asid_mix_index(3, 999, 32) == asid_mix_index(3, 999, 32)

@@ -1,0 +1,63 @@
+"""Per-link arbiters: rotating static priority."""
+
+import pytest
+
+from repro.core.link_arbiter import LinkArbiter, control_fanout
+
+
+def test_rejects_no_requesters():
+    with pytest.raises(ValueError):
+        LinkArbiter(0)
+
+
+def test_single_requester_always_wins():
+    arbiter = LinkArbiter(8)
+    assert arbiter.grant(0, [5]) == 5
+
+
+def test_empty_request_set():
+    assert LinkArbiter(8).grant(0, []) is None
+
+
+def test_priority_is_static_within_rotation_window():
+    arbiter = LinkArbiter(8, rotation_cycles=1000)
+    for cycle in range(0, 1000, 100):
+        assert arbiter.grant(cycle, [3, 5]) == 3
+
+
+def test_priority_rotates_round_robin():
+    arbiter = LinkArbiter(4, rotation_cycles=10)
+    # Base 0 at cycle 0, base 1 at cycle 10, ...
+    assert arbiter.grant(0, [1, 3]) == 1
+    assert arbiter.grant(10, [0, 2]) == 2  # base=1: 2 closer than 0
+    assert arbiter.grant(20, [0, 1]) == 0  # base=2: 0 at dist 2, 1 at 3
+
+
+def test_wraparound_distance():
+    arbiter = LinkArbiter(4, rotation_cycles=10)
+    assert arbiter.grant(30, [0, 1]) == 0  # base=3: 0 at dist 1
+
+
+def test_conflicts_counted():
+    arbiter = LinkArbiter(8)
+    arbiter.grant(0, [1, 2, 3])
+    assert arbiter.grants == 1
+    assert arbiter.conflicts == 2
+
+
+def test_fanout_formula_matches_paper():
+    """(cores per row - 1) + (rows - 1) * columns (§III-B2)."""
+    assert control_fanout(rows=4, cols=4) == 3 + 3 * 4
+    assert control_fanout(rows=8, cols=8) == 7 + 7 * 8
+
+
+def test_fanout_rejects_bad_dims():
+    with pytest.raises(ValueError):
+        control_fanout(0, 4)
+
+
+def test_no_starvation_over_full_rotation():
+    """Every requester wins at least once across a full priority cycle."""
+    arbiter = LinkArbiter(4, rotation_cycles=1)
+    winners = {arbiter.grant(cycle, [0, 1, 2, 3]) for cycle in range(4)}
+    assert winners == {0, 1, 2, 3}

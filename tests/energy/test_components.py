@@ -1,0 +1,33 @@
+"""Fig 9 constants and parameter sanity."""
+
+from repro.energy import components as comp
+
+
+def test_fig9_numbers():
+    assert comp.SWITCH_POWER_MW == 0.43
+    assert comp.SWITCH_AREA_MM2 == 0.0022
+    assert comp.ARBITERS_POWER_MW == 2.39
+    assert comp.SRAM_SLICE_POWER_MW == 10.91
+    assert comp.SRAM_SLICE_AREA_MM2 == 0.4646
+
+
+def test_interconnect_under_one_percent_of_sram_area():
+    """Fig 9: switch + arbiters are <1% of the slice SRAM's area."""
+    overhead = comp.SWITCH_AREA_MM2 + comp.ARBITERS_AREA_MM2
+    assert overhead < 0.015 * comp.SRAM_SLICE_AREA_MM2
+
+
+def test_arbiters_are_the_power_hungry_component():
+    """§III-B3: the link arbiters dominate the interconnect power."""
+    assert comp.ARBITERS_POWER_MW > comp.SWITCH_POWER_MW
+
+
+def test_clock_conversion():
+    # 2 GHz: 1 mW for one cycle (0.5 ns) = 0.5 pJ.
+    assert comp.PJ_PER_MW_CYCLE == 0.5
+
+
+def test_default_params_ordering():
+    p = comp.DEFAULT_PARAMS
+    assert p.nocstar_switch_hop_pj < p.router_hop_pj
+    assert p.cache_pj["dram"] > p.cache_pj["llc"] > p.cache_pj["l2"]

@@ -1,0 +1,55 @@
+"""Per-message energy breakdown (Fig 11b)."""
+
+import pytest
+
+from repro.energy.message import DESIGNS, message_energy_pj
+
+
+def test_all_designs():
+    for design in DESIGNS:
+        breakdown = message_energy_pj(design, hops=6)
+        assert breakdown["total"] > 0
+
+
+def test_unknown_design_rejected():
+    with pytest.raises(ValueError):
+        message_energy_pj("ring", 4)
+
+
+def test_negative_hops_rejected():
+    with pytest.raises(ValueError):
+        message_energy_pj("nocstar", -1)
+
+
+def test_monolithic_sram_dominates():
+    mono = message_energy_pj("monolithic", hops=0, num_cores=32)
+    dist = message_energy_pj("distributed", hops=0)
+    assert mono["sram"] > 4 * dist["sram"]
+
+
+def test_fig11b_ordering_at_every_hop_count():
+    """M > D > N in total energy, at all plotted hop counts."""
+    for hops in (0, 1, 2, 4, 6, 8, 10, 12):
+        mono = message_energy_pj("monolithic", hops)["total"]
+        dist = message_energy_pj("distributed", hops)["total"]
+        noc = message_energy_pj("nocstar", hops)["total"]
+        assert mono > dist > noc
+
+
+def test_nocstar_control_premium_nonzero():
+    noc = message_energy_pj("nocstar", hops=14)
+    dist = message_energy_pj("distributed", hops=14)
+    assert noc["control"] > dist["control"] == 0.0
+
+
+def test_nocstar_switch_cheaper_than_buffered_router():
+    noc = message_energy_pj("nocstar", hops=8)
+    dist = message_energy_pj("distributed", hops=8)
+    assert noc["switch"] < dist["switch"]
+    assert noc["link"] == dist["link"]
+
+
+def test_energy_monotone_in_hops():
+    for design in DESIGNS:
+        totals = [message_energy_pj(design, h)["total"] for h in range(13)]
+        assert totals == sorted(totals)

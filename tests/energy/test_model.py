@@ -1,0 +1,87 @@
+"""Energy accounting model."""
+
+import pytest
+
+from repro.energy.components import PJ_PER_MW_CYCLE
+from repro.energy.model import EnergyModel, percent_energy_saved
+from repro.mem import sram
+
+
+def test_empty_model_is_zero():
+    assert EnergyModel().total_pj == 0.0
+
+
+def test_l1_lookups_accumulate():
+    model = EnergyModel()
+    model.l1_lookup(100)
+    assert model.breakdown.sram_pj == pytest.approx(100 * 1.0)
+
+
+def test_l2_lookup_scales_with_array_size():
+    small, big = EnergyModel(), EnergyModel()
+    small.l2_lookup(1024, 10)
+    big.l2_lookup(32 * 1024, 10)
+    assert big.breakdown.sram_pj > small.breakdown.sram_pj
+    assert small.breakdown.sram_pj == pytest.approx(
+        10 * sram.read_energy_pj(1024)
+    )
+
+
+def test_nocstar_hops_cheaper_than_mesh_hops():
+    mesh, nocstar = EnergyModel(), EnergyModel()
+    mesh.mesh_hops(100)
+    nocstar.nocstar_hops(100)
+    assert nocstar.total_pj < mesh.total_pj
+    assert nocstar.breakdown.link_pj == mesh.breakdown.link_pj  # same wires
+    assert nocstar.breakdown.switch_pj < mesh.breakdown.switch_pj
+
+
+def test_control_premium():
+    model = EnergyModel()
+    model.control(14)  # 14 simultaneous arbitrations (§III-D example)
+    assert model.breakdown.control_pj == pytest.approx(14 * 0.3)
+
+
+def test_walk_levels():
+    model = EnergyModel()
+    model.walk_levels(["pwc", "l1", "llc", "dram"])
+    assert model.breakdown.walk_pj == pytest.approx(2 + 20 + 800 + 15_000)
+
+
+def test_dram_dominates_walk_energy():
+    """The paper: walk cache/memory references are orders of magnitude
+    above TLB lookups."""
+    model = EnergyModel()
+    model.walk_levels(["dram"])
+    lookup = EnergyModel()
+    lookup.l2_lookup(1024, 1)
+    assert model.total_pj > 20 * lookup.total_pj
+
+
+def test_static_energy():
+    model = EnergyModel(static_power_mw=10.0)
+    model.finalize(cycles=1000)
+    assert model.breakdown.static_pj == pytest.approx(
+        10.0 * PJ_PER_MW_CYCLE * 1000
+    )
+
+
+def test_breakdown_total():
+    model = EnergyModel(static_power_mw=1.0)
+    model.l1_lookup(1)
+    model.mesh_hops(1)
+    model.control(1)
+    model.walk_levels(["l1"])
+    model.finalize(10)
+    d = model.breakdown.as_dict()
+    assert d["total"] == pytest.approx(
+        d["sram"] + d["link"] + d["switch"] + d["control"] + d["walk"]
+        + d["static"]
+    )
+
+
+def test_percent_energy_saved():
+    assert percent_energy_saved(100.0, 40.0) == pytest.approx(60.0)
+    assert percent_energy_saved(100.0, 100.0) == 0.0
+    with pytest.raises(ValueError):
+        percent_energy_saved(0.0, 1.0)

@@ -1,0 +1,98 @@
+"""Data-cache model used for walk latency."""
+
+import pytest
+
+from repro.mem.cache import Cache, CacheHierarchy, CacheLatencies, LINE_BYTES
+
+
+def test_cache_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        Cache("bad", 100, 8)  # not line-divisible
+
+
+def test_miss_then_fill_then_hit():
+    cache = Cache("c", 4096, 4)
+    assert not cache.lookup(0x1000, now=0)
+    cache.fill(0x1000, now=0)
+    assert cache.lookup(0x1000, now=1)
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_same_line_shares_entry():
+    cache = Cache("c", 4096, 4)
+    cache.fill(0x1000, now=0)
+    assert cache.lookup(0x1000 + LINE_BYTES - 1, now=1)
+
+
+def test_lru_eviction_within_set():
+    cache = Cache("c", 2 * LINE_BYTES, 2)  # 1 set, 2 ways
+    cache.fill(0 * LINE_BYTES, 0)
+    cache.fill(1 * LINE_BYTES, 0)
+    cache.lookup(0, 1)  # touch line 0 so line 1 is LRU
+    cache.fill(2 * LINE_BYTES, 2)
+    assert cache.lookup(0, 3)
+    assert not cache.lookup(1 * LINE_BYTES, 3)
+
+
+def test_decay_counts_as_miss():
+    cache = Cache("c", 4096, 4, decay_cycles=100)
+    cache.fill(0x1000, now=0)
+    assert cache.lookup(0x1000, now=50)
+    assert not cache.lookup(0x1000, now=500)
+
+
+def test_hit_refreshes_decay_clock():
+    cache = Cache("c", 4096, 4, decay_cycles=100)
+    cache.fill(0x1000, now=0)
+    cache.lookup(0x1000, now=90)
+    assert cache.lookup(0x1000, now=180)  # refreshed at 90
+
+
+def test_invalidate_all():
+    cache = Cache("c", 4096, 4)
+    cache.fill(0x1000, 0)
+    cache.invalidate_all()
+    assert not cache.lookup(0x1000, 1)
+
+
+def test_hierarchy_first_access_is_dram():
+    hierarchy = CacheHierarchy(2)
+    level, latency = hierarchy.access(0, 0x5000, now=0)
+    assert level == "dram"
+    assert latency == CacheLatencies().dram
+
+
+def test_hierarchy_second_access_hits_l1():
+    hierarchy = CacheHierarchy(2)
+    hierarchy.access(0, 0x5000, now=0)
+    level, latency = hierarchy.access(0, 0x5000, now=1)
+    assert level == "l1"
+    assert latency == CacheLatencies().l1
+
+
+def test_hierarchy_llc_is_shared_between_cores():
+    hierarchy = CacheHierarchy(2)
+    hierarchy.access(0, 0x5000, now=0)  # core 0 brings it into LLC
+    level, _ = hierarchy.access(1, 0x5000, now=1)
+    assert level == "llc"  # core 1's L1/L2 are cold, LLC shared
+
+
+def test_hierarchy_private_levels_not_shared():
+    hierarchy = CacheHierarchy(2)
+    hierarchy.access(0, 0x5000, now=0)
+    hierarchy.access(0, 0x5000, now=1)  # now in core 0's L1
+    level, _ = hierarchy.access(1, 0x5000, now=2)
+    assert level == "llc"
+
+
+def test_hierarchy_decay_sends_back_to_dram():
+    hierarchy = CacheHierarchy(1)
+    hierarchy.access(0, 0x5000, now=0)
+    level, _ = hierarchy.access(0, 0x5000, now=10_000_000)
+    assert level == "dram"
+    assert hierarchy.dram_accesses == 2
+
+
+def test_latency_ordering():
+    lat = CacheLatencies()
+    assert lat.l1 < lat.l2 < lat.llc < lat.dram

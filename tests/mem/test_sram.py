@@ -1,0 +1,75 @@
+"""SRAM scaling model (the Fig 3 curve and Fig 9 budgets)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem import sram
+
+
+def test_base_latency_matches_haswell_private_l2():
+    assert sram.lookup_cycles(1024) == 9
+
+
+def test_32x_structure_is_about_15_cycles():
+    """Fig 3: the 32x shared structure takes ~15 cycles."""
+    assert 14 <= sram.lookup_cycles(32 * 1024) <= 16
+
+
+def test_latency_monotone_in_size():
+    sizes = [256, 1024, 4096, 16384, 65536]
+    latencies = [sram.lookup_cycles(s) for s in sizes]
+    assert latencies == sorted(latencies)
+
+
+def test_nocstar_slice_not_slower_than_private():
+    assert sram.lookup_cycles(920) <= sram.lookup_cycles(1024)
+
+
+def test_lookup_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        sram.lookup_cycles(0)
+
+
+def test_fig3_endpoints():
+    """Fig 3 spans roughly 7-17 cycles from 0.5x to 64x of 1536 entries."""
+    low = sram.fig3_lookup_cycles(0.5)
+    high = sram.fig3_lookup_cycles(64)
+    assert 6.0 <= low <= 10.0
+    assert 14.0 <= high <= 18.0
+    assert high - low == pytest.approx(sram.SLOPE * 7)  # 7 doublings
+
+
+def test_fig3_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        sram.fig3_lookup_cycles(0)
+
+
+def test_read_energy_grows_sublinearly():
+    """Energy ~ sqrt(capacity): 4x entries -> 2x energy."""
+    assert sram.read_energy_pj(4096) == pytest.approx(
+        2 * sram.read_energy_pj(1024)
+    )
+
+
+def test_budget_matches_fig9_at_slice_size():
+    budget = sram.budget(1024)
+    assert budget.power_mw == pytest.approx(sram.SLICE_POWER_MW)
+    assert budget.area_mm2 == pytest.approx(sram.SLICE_AREA_MM2)
+
+
+def test_budget_scales_linearly():
+    assert sram.budget(2048).power_mw == pytest.approx(
+        2 * sram.budget(1024).power_mw
+    )
+
+
+@given(st.integers(min_value=1, max_value=1 << 22))
+def test_lookup_cycles_always_positive(entries):
+    assert sram.lookup_cycles(entries) >= 1
+
+
+@given(st.integers(min_value=64, max_value=1 << 20))
+def test_doubling_adds_about_one_cycle(entries):
+    """The log-linear fit: one doubling costs ~SLOPE cycles."""
+    delta = sram.lookup_cycles(entries * 2) - sram.lookup_cycles(entries)
+    assert 0 <= delta <= 2

@@ -1,0 +1,90 @@
+"""Simulatable bus and flattened-butterfly networks."""
+
+import pytest
+
+from repro.noc.bus import BusNetwork
+from repro.noc.fbfly import FlattenedButterfly
+from repro.noc.topology import MeshTopology
+
+
+def test_bus_idle_latency():
+    bus = BusNetwork(MeshTopology(16))
+    t = bus.send(0, 15, now=10)
+    assert t.arrival == 12  # 2-cycle transfer, no queueing
+
+
+def test_bus_serialises_everything():
+    bus = BusNetwork(MeshTopology(16))
+    a = bus.send(0, 1, now=0)
+    b = bus.send(14, 15, now=0)  # disjoint endpoints still queue!
+    assert b.arrival == a.arrival + 2
+    assert b.queue_cycles == 2
+
+
+def test_bus_local_message_free():
+    bus = BusNetwork(MeshTopology(16))
+    assert bus.send(3, 3, 7).arrival == 7
+
+
+def test_bus_out_of_order_safe():
+    bus = BusNetwork(MeshTopology(16))
+    bus.send(0, 1, now=100)
+    t = bus.send(2, 3, now=0)
+    assert t.queue_cycles == 0
+
+
+def test_bus_validation():
+    with pytest.raises(ValueError):
+        BusNetwork(MeshTopology(4), transfer_cycles=0)
+
+
+def test_fbfly_two_hops_max():
+    fb = FlattenedButterfly(MeshTopology(64))
+    for src, dst in ((0, 63), (7, 56), (0, 7), (0, 56)):
+        assert len(fb.route(src, dst)) <= 2
+
+
+def test_fbfly_wide_latency():
+    fb = FlattenedButterfly(MeshTopology(64))
+    t = fb.send(0, 63, now=0)  # 2 express hops
+    assert t.hops == 2
+    assert t.arrival == 4  # 2 x (router + 1-cycle link)
+
+
+def test_fbfly_narrow_pays_serialization():
+    wide = FlattenedButterfly(MeshTopology(64))
+    narrow = FlattenedButterfly(MeshTopology(64), narrow=True)
+    assert (
+        narrow.send(0, 63, 0).arrival
+        == wide.send(0, 63, 0).arrival + 2 * 4
+    )
+
+
+def test_fbfly_same_row_single_hop():
+    fb = FlattenedButterfly(MeshTopology(64))
+    t = fb.send(0, 7, now=0)
+    assert t.hops == 1
+
+
+def test_fbfly_link_contention():
+    fb = FlattenedButterfly(MeshTopology(64))
+    a = fb.send(0, 7, now=0)
+    b = fb.send(0, 7, now=0)  # same express link, same cycle
+    assert b.arrival > a.arrival
+    assert b.queue_cycles > 0
+
+
+def test_fbfly_narrow_contention_worse():
+    """Narrow links occupy 5 cycles per packet, so back-to-back
+    packets queue much longer."""
+    wide = FlattenedButterfly(MeshTopology(64))
+    narrow = FlattenedButterfly(MeshTopology(64), narrow=True)
+    for _ in range(4):
+        wq = wide.send(0, 7, now=0).queue_cycles
+        nq = narrow.send(0, 7, now=0).queue_cycles
+    assert nq > wq
+
+
+def test_fbfly_local_free():
+    fb = FlattenedButterfly(MeshTopology(16))
+    assert fb.send(5, 5, 3).arrival == 3

@@ -1,0 +1,67 @@
+"""Analytic NoC latency formula (T = H(tr+tw) + sum tc + Ts)."""
+
+import pytest
+
+from repro.noc import latency as lat
+
+
+def test_mesh_two_cycles_per_hop():
+    assert lat.MESH.latency(5) == 10
+
+
+def test_zero_hops_only_serialization():
+    assert lat.MESH.latency(0) == 0
+    assert lat.FBFLY_NARROW.latency(0) == 4
+
+
+def test_contention_adds_linearly():
+    assert lat.MESH.latency(3, contention=[1, 0, 2]) == 6 + 3
+
+
+def test_negative_hops_rejected():
+    with pytest.raises(ValueError):
+        lat.MESH.latency(-1)
+
+
+def test_smart_bypass_compresses_hops():
+    smart = lat.smart_params(8)
+    assert smart.latency(8) == 1 + 1  # setup + one bypass segment
+    assert smart.latency(9) == 1 + 2
+
+
+def test_nocstar_single_cycle_across_chip():
+    nocstar = lat.nocstar_params(16)
+    # 14 hops (64-core diameter) in one cycle plus one setup cycle.
+    assert nocstar.latency(14) == 2
+
+
+def test_nocstar_pipelined_when_hpc_exceeded():
+    nocstar = lat.nocstar_params(4)
+    assert nocstar.latency(14) == 1 + 4  # ceil(14/4) = 4 data cycles
+
+
+def test_narrow_fbfly_pays_serialization():
+    wide = lat.FBFLY_WIDE.latency(lat.fbfly_hops(6))
+    narrow = lat.FBFLY_NARROW.latency(lat.fbfly_hops(6))
+    assert narrow == wide + 4
+
+
+def test_fbfly_hops_capped_at_dimensions():
+    assert lat.fbfly_hops(10) == 2
+    assert lat.fbfly_hops(1) == 1
+    assert lat.fbfly_hops(0) == 0
+
+
+def test_fig11a_ordering_at_12_hops():
+    """Fig 11a: monolithic > distributed > NOCSTAR at every hop count
+    (per-message latency including destination SRAM lookup)."""
+    from repro.mem import sram
+
+    hops = 12
+    mono = sram.lookup_cycles(32 * 1024) + lat.MESH.latency(hops)
+    dist = sram.lookup_cycles(1024) + lat.MESH.latency(hops)
+    noc4 = sram.lookup_cycles(920) + lat.nocstar_params(4).latency(hops)
+    noc16 = sram.lookup_cycles(920) + lat.nocstar_params(16).latency(hops)
+    assert mono > dist > noc4 > noc16
+    assert mono >= 35  # the paper's curve tops out near 40
+    assert noc16 <= 13

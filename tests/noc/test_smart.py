@@ -1,0 +1,63 @@
+"""SMART NoC bypass model."""
+
+import pytest
+
+from repro.noc.smart import SmartNetwork
+from repro.noc.topology import MeshTopology
+
+
+def test_rejects_bad_hpc():
+    with pytest.raises(ValueError):
+        SmartNetwork(MeshTopology(16), hpc_max=0)
+
+
+def test_uncontended_within_hpc_is_two_cycles():
+    smart = SmartNetwork(MeshTopology(64), hpc_max=8)
+    t = smart.send(0, 7, now=10)  # 7 hops, one segment
+    assert t.arrival == 12  # 1 setup + 1 data cycle
+
+
+def test_long_path_needs_multiple_segments():
+    smart = SmartNetwork(MeshTopology(64), hpc_max=8)
+    t = smart.send(0, 63, now=0)  # 14 hops = 2 segments
+    # setup + segment + premature-stop relatch + segment
+    assert t.arrival >= 3
+    assert t.hops == 14
+
+
+def test_local_message_is_free():
+    smart = SmartNetwork(MeshTopology(16))
+    assert smart.send(4, 4, 0).arrival == 0
+
+
+def test_conflict_causes_stop_or_queue():
+    smart = SmartNetwork(MeshTopology(16), hpc_max=8)
+    a = smart.send(0, 3, now=0)
+    b = smart.send(0, 3, now=0)
+    assert b.arrival > a.arrival
+
+
+def test_partial_conflict_premature_stop():
+    smart = SmartNetwork(MeshTopology(16), hpc_max=8)
+    smart.send(1, 2, now=0)  # occupies link (1,2) at cycle 1
+    before = smart.premature_stops
+    t = smart.send(0, 3, now=0)  # wants links (0,1),(1,2),(2,3) at cycle 1
+    assert smart.premature_stops > before
+    assert t.arrival > 2
+
+
+def test_disjoint_traffic_unaffected():
+    smart = SmartNetwork(MeshTopology(16), hpc_max=8)
+    smart.send(0, 3, now=0)
+    t = smart.send(12, 15, now=0)
+    assert t.queue_cycles == 0
+    assert smart.total_hops == 6
+
+
+def test_faster_than_mesh_for_long_paths():
+    from repro.noc.mesh import ContentionFreeMesh
+
+    topo = MeshTopology(64)
+    smart = SmartNetwork(topo, hpc_max=8)
+    mesh = ContentionFreeMesh(topo)
+    assert smart.send(0, 63, 0).arrival < mesh.send(0, 63, 0).arrival

@@ -1,0 +1,57 @@
+"""Cycle-accurate synthetic traffic (the Fig 11c experiment)."""
+
+import pytest
+
+from repro.noc.synthetic import run_mesh_traffic, run_nocstar_traffic
+from repro.noc.topology import MeshTopology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return MeshTopology(64)
+
+
+def test_low_load_latency_near_ideal(topo):
+    result = run_nocstar_traffic(topo, injection_rate=0.01, cycles=2000)
+    # Ideal is 2 cycles (setup + traversal); allow small contention.
+    assert result.mean_latency < 3.0
+    assert result.no_contention_fraction > 0.9
+
+
+def test_latency_grows_with_injection(topo):
+    low = run_nocstar_traffic(topo, 0.02, cycles=2000)
+    high = run_nocstar_traffic(topo, 0.25, cycles=2000)
+    assert high.mean_latency > low.mean_latency
+    assert high.no_contention_fraction < low.no_contention_fraction
+
+
+def test_paper_operating_point(topo):
+    """Fig 11c: at injection 0.1 (one message per 10 cycles per core —
+    high for TLB traffic), mean latency stays within ~3 cycles."""
+    result = run_nocstar_traffic(topo, 0.10, cycles=3000)
+    assert result.mean_latency <= 4.0
+
+
+def test_nocstar_beats_mesh_at_all_loads(topo):
+    for rate in (0.02, 0.10):
+        nocstar = run_nocstar_traffic(topo, rate, cycles=2000)
+        mesh = run_mesh_traffic(topo, rate, cycles=2000)
+        assert nocstar.mean_latency < mesh.mean_latency
+
+
+def test_mesh_latency_close_to_two_per_hop(topo):
+    result = run_mesh_traffic(topo, 0.01, cycles=2000)
+    # Mean uniform hop distance on an 8x8 mesh is ~5.3 -> ~10.7 cycles.
+    assert 8.0 <= result.mean_latency <= 14.0
+
+
+def test_deliveries_track_offered_load(topo):
+    result = run_nocstar_traffic(topo, 0.05, cycles=2000, seed=3)
+    expected = 0.05 * 64 * 2000
+    assert result.delivered >= 0.8 * expected
+
+
+def test_deterministic_under_seed(topo):
+    a = run_nocstar_traffic(topo, 0.05, cycles=500, seed=9)
+    b = run_nocstar_traffic(topo, 0.05, cycles=500, seed=9)
+    assert a == b

@@ -1,0 +1,54 @@
+"""Table I regeneration: design-choice comparison."""
+
+from repro.noc.tradeoffs import evaluate_designs
+
+
+def by_name():
+    return {row.name: row for row in evaluate_designs(64)}
+
+
+def test_all_designs_present():
+    names = {row.name for row in evaluate_designs(64)}
+    assert names == {
+        "bus", "mesh", "fbfly-wide", "fbfly-narrow", "smart", "nocstar"
+    }
+
+
+def test_nocstar_good_everywhere():
+    """Table I's bottom row: NOCSTAR is the only all-check design."""
+    nocstar = by_name()["nocstar"]
+    assert all(glyph.startswith("yes") for glyph in nocstar.glyphs.values())
+
+
+def test_bus_fails_bandwidth_and_power():
+    bus = by_name()["bus"]
+    assert bus.glyphs["latency"].startswith("yes")
+    assert bus.glyphs["bandwidth"].startswith("no")
+    assert bus.glyphs["power"].startswith("no")
+
+
+def test_mesh_fails_latency():
+    mesh = by_name()["mesh"]
+    assert mesh.glyphs["latency"].startswith("no")
+    assert mesh.glyphs["bandwidth"].startswith("yes")
+
+
+def test_fbfly_wide_extreme_area_power():
+    wide = by_name()["fbfly-wide"]
+    assert wide.glyphs["latency"].startswith("yes")
+    assert wide.glyphs["area"] == "no+"
+    assert wide.glyphs["power"] == "no+"
+    assert wide.glyphs["bandwidth"] == "yes+"
+
+
+def test_smart_good_latency_bad_area():
+    smart = by_name()["smart"]
+    assert smart.glyphs["latency"].startswith("yes")
+    assert smart.glyphs["area"].startswith("no")
+
+
+def test_quantities_sane():
+    for row in evaluate_designs(64):
+        assert row.latency_cycles > 0
+        assert row.bandwidth_transfers > 0
+        assert row.area_units > 0

@@ -1,0 +1,73 @@
+"""Configuration factories (Table II)."""
+
+import pytest
+
+from repro.core.config import NocstarConfig
+from repro.sim import configs as cfg
+
+
+def test_private_factory():
+    config = cfg.private(16)
+    assert config.scheme == cfg.PRIVATE
+    assert config.entries_per_core == 1024
+
+
+def test_monolithic_banks_follow_core_count():
+    assert cfg.monolithic(32).monolithic_banks == 4
+    assert cfg.monolithic(64).monolithic_banks == 8
+
+
+def test_monolithic_noc_variants():
+    assert cfg.monolithic(16).name == "monolithic-mesh"
+    assert cfg.monolithic(16, noc="smart").name == "monolithic-smart"
+    with pytest.raises(ValueError):
+        cfg.monolithic(16, noc="bus")
+
+
+def test_monolithic_fixed_latency_disables_network():
+    config = cfg.monolithic(32, fixed_latency=25)
+    assert config.fixed_shared_latency == 25
+    assert config.interconnect == cfg.ZERO
+    assert config.name == "monolithic-25cc"
+
+
+def test_nocstar_uses_area_normalised_slices():
+    config = cfg.nocstar(16)
+    assert config.entries_per_core == 920
+
+
+def test_nocstar_custom_config_propagates():
+    custom = NocstarConfig(hpc_max=4, slice_entries=920)
+    config = cfg.nocstar(16, config=custom)
+    assert config.nocstar.hpc_max == 4
+
+
+def test_ideal_and_nocstar_ideal():
+    assert cfg.ideal(16).interconnect == cfg.ZERO
+    assert cfg.nocstar_ideal(16).nocstar_ideal
+
+
+def test_paper_lineup_names():
+    names = [c.name for c in cfg.paper_lineup(16)]
+    assert names == [
+        "private", "monolithic-mesh", "distributed", "nocstar", "ideal"
+    ]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        cfg.SystemConfig(name="x", num_cores=0, scheme=cfg.PRIVATE)
+    with pytest.raises(ValueError):
+        cfg.SystemConfig(name="x", num_cores=4, scheme="hybrid")
+    with pytest.raises(ValueError):
+        cfg.SystemConfig(
+            name="x", num_cores=4, scheme=cfg.PRIVATE, ptw_policy="nowhere"
+        )
+    with pytest.raises(ValueError):
+        cfg.SystemConfig(
+            name="x", num_cores=4, scheme=cfg.PRIVATE, translation_overlap=1.0
+        )
+
+
+def test_renamed():
+    assert cfg.private(8).renamed("baseline").name == "baseline"

@@ -1,0 +1,84 @@
+"""Cross-configuration consistency invariants.
+
+The same workload must present identical demand to every machine:
+configurations may only change *when* things happen, never *what* the
+cores ask for.
+"""
+
+import pytest
+
+from repro.sim import configs as cfg
+from repro.sim.engine import simulate
+from repro.workloads.generators import build_multithreaded
+from repro.workloads.registry import get_workload
+
+CONFIGS = [
+    cfg.private(8),
+    cfg.monolithic(8),
+    cfg.monolithic(8, noc="smart"),
+    cfg.distributed(8),
+    cfg.distributed(8, noc="fbfly-wide"),
+    cfg.nocstar(8),
+    cfg.nocstar_ideal(8),
+    cfg.ideal(8),
+]
+
+
+@pytest.fixture(scope="module")
+def results():
+    wl = build_multithreaded(
+        get_workload("redis"), 8, accesses_per_core=2000, seed=17
+    )
+    return {c.name: simulate(c, wl) for c in CONFIGS}
+
+
+def test_l1_demand_identical_everywhere(results):
+    accesses = {r.stats.l1_accesses for r in results.values()}
+    assert len(accesses) == 1
+
+
+def test_l1_misses_identical_everywhere(results):
+    """L1 TLBs are identical structures fed the same stream."""
+    misses = {r.stats.l1_misses for r in results.values()}
+    assert len(misses) == 1
+
+
+def test_shared_configs_share_hit_rates(results):
+    """All same-capacity shared organisations hold the same content."""
+    same_capacity = ["monolithic-mesh", "monolithic-smart", "distributed",
+                     "distributed-fbfly-wide", "ideal"]
+    misses = {results[name].stats.l2_misses for name in same_capacity}
+    assert len(misses) == 1
+
+
+def test_nocstar_area_normalisation_costs_few_misses(results):
+    """The 920-entry slices may miss slightly more than 1024-entry ones,
+    never fewer."""
+    assert (
+        results["nocstar"].stats.l2_misses
+        >= results["distributed"].stats.l2_misses
+    )
+    assert (
+        results["nocstar"].stats.l2_misses
+        <= results["distributed"].stats.l2_misses * 1.25
+    )
+
+
+def test_walks_match_l2_misses_without_prefetch(results):
+    for name, result in results.items():
+        assert result.stats.walks == result.stats.l2_misses, name
+
+
+def test_energy_components_nonnegative(results):
+    for name, result in results.items():
+        for component, value in result.energy.items():
+            assert value >= 0.0, (name, component)
+        assert result.energy["total"] == pytest.approx(
+            sum(v for k, v in result.energy.items() if k != "total")
+        )
+
+
+def test_per_core_cycles_close_to_total(results):
+    """No core finishes absurdly early (work is balanced by design)."""
+    for name, result in results.items():
+        assert min(result.per_core_cycles) > 0.5 * result.cycles, name

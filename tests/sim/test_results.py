@@ -1,0 +1,51 @@
+"""Result types and speedup arithmetic."""
+
+import pytest
+
+from repro.sim.results import RunResult, geometric_mean
+from repro.tlb.stats import TlbStats
+
+
+def make(cycles, name="x", apps=None):
+    return RunResult(
+        config_name=name,
+        workload_name="w",
+        cycles=cycles,
+        per_core_cycles=[cycles],
+        stats=TlbStats(),
+        energy={"total": 100.0},
+        app_cycles=apps or {},
+    )
+
+
+def test_speedup_over():
+    assert make(50).speedup_over(make(100)) == 2.0
+
+
+def test_speedup_rejects_empty_run():
+    with pytest.raises(ValueError):
+        make(0).speedup_over(make(100))
+
+
+def test_app_speedups():
+    base = make(100, apps={"a": 100.0, "b": 200.0})
+    fast = make(80, apps={"a": 50.0, "b": 100.0})
+    assert fast.app_speedups_over(base) == {"a": 2.0, "b": 2.0}
+
+
+def test_app_speedups_skips_missing():
+    base = make(100, apps={"a": 100.0})
+    fast = make(80, apps={"b": 50.0})
+    assert fast.app_speedups_over(base) == {}
+
+
+def test_total_energy():
+    assert make(10).total_energy_pj == 100.0
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, -1.0])

@@ -1,0 +1,80 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_workloads_command(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "graph500" in out and "gups" in out
+
+
+def test_configs_command(capsys):
+    assert main(["configs", "--cores", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "nocstar" in out and "monolithic" in out
+    assert "920" in out  # area-normalised slice size
+
+
+def test_run_command_small(capsys):
+    code = main(
+        [
+            "run", "--workload", "olio", "--cores", "4",
+            "--accesses", "800", "--configs", "nocstar",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "private" in out  # baseline auto-added
+    assert "speedup" in out
+
+
+def test_run_command_unknown_config():
+    with pytest.raises(SystemExit, match="unknown config"):
+        main(["run", "--configs", "hyperloop", "--cores", "4",
+              "--accesses", "100"])
+
+
+def test_sweep_command_subset(capsys):
+    code = main(
+        [
+            "sweep", "--cores", "4", "--accesses", "600",
+            "--workloads", "olio",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "average" in out
+
+
+def test_traffic_command(capsys):
+    code = main(["traffic", "--tiles", "16", "--cycles", "300"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "nocstar" in out
+
+
+def test_export_and_run_trace(tmp_path, capsys):
+    trace = tmp_path / "t.npz"
+    code = main(
+        [
+            "export-trace", "--workload", "olio", "--cores", "2",
+            "--accesses", "300", "--out", str(trace),
+        ]
+    )
+    assert code == 0
+    assert trace.exists()
+    code = main(
+        ["run", "--trace", str(trace), "--configs", "nocstar",
+         "--cores", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "nocstar" in out

@@ -1,0 +1,134 @@
+"""Shared L2 organisations: banked monolithic and distributed slices."""
+
+import pytest
+
+from repro.mem import sram
+from repro.tlb.l2_shared import DistributedSharedTlb, MonolithicSharedTlb
+from repro.vm.address import PAGE_1G, PAGE_2M, PAGE_4K
+
+
+def test_distributed_total_capacity():
+    tlb = DistributedSharedTlb(16, 1024)
+    assert tlb.total_entries == 16 * 1024
+    assert tlb.num_shards == 16
+
+
+def test_home_uses_low_order_bits():
+    tlb = DistributedSharedTlb(16, 1024)
+    for pn in (0, 1, 15, 16, 31):
+        assert tlb.home(pn) == pn % 16
+
+
+def test_slice_lookup_latency_is_small_array():
+    tlb = DistributedSharedTlb(32, 1024)
+    assert tlb.lookup_cycles == sram.lookup_cycles(1024)
+
+
+def test_nocstar_area_normalised_slice():
+    tlb = DistributedSharedTlb(16, 920)
+    assert tlb.entries_per_shard == 920
+    assert tlb.lookup_cycles <= 9
+
+
+def test_monolithic_latency_follows_total_capacity():
+    mono16 = MonolithicSharedTlb(16 * 1024)
+    mono64 = MonolithicSharedTlb(64 * 1024, num_banks=8)
+    assert mono64.lookup_cycles > mono16.lookup_cycles
+    # Fig 4: the 32x structure with zero-latency interconnect ~16cc.
+    mono32 = MonolithicSharedTlb(32 * 1024)
+    assert 15 <= mono32.lookup_cycles <= 17
+
+
+def test_banks_for_matches_paper():
+    assert MonolithicSharedTlb.banks_for(16) == 4
+    assert MonolithicSharedTlb.banks_for(32) == 4
+    assert MonolithicSharedTlb.banks_for(64) == 8
+
+
+def test_insert_and_lookup_route_to_same_shard():
+    tlb = DistributedSharedTlb(8, 64, ways=4)
+    tlb.insert_page_number(1, PAGE_4K, 100)
+    assert tlb.lookup_page_number(1, PAGE_4K, 100)
+    assert tlb.shards[100 % 8].occupancy == 1
+
+
+def test_single_copy_no_replication():
+    """The shared structure holds one copy regardless of who inserts."""
+    tlb = DistributedSharedTlb(8, 64, ways=4)
+    for _ in range(5):
+        tlb.insert_page_number(1, PAGE_4K, 100)
+    assert sum(s.occupancy for s in tlb.shards) == 1
+
+
+def test_1g_not_cached():
+    tlb = DistributedSharedTlb(8, 64, ways=4)
+    assert tlb.insert_page_number(1, PAGE_1G, 0) is None
+    assert not tlb.lookup_page_number(1, PAGE_1G, 0)
+
+
+def test_probe_has_no_side_effects():
+    tlb = DistributedSharedTlb(8, 64, ways=4)
+    assert not tlb.probe_page_number(1, PAGE_4K, 5)
+    assert tlb.misses == 0
+
+
+def test_invalidate_routes_by_home():
+    tlb = DistributedSharedTlb(8, 64, ways=4)
+    tlb.insert_page_number(1, PAGE_4K, 42)
+    assert tlb.invalidate(1, PAGE_4K, 42)
+    assert not tlb.probe_page_number(1, PAGE_4K, 42)
+
+
+def test_flush():
+    tlb = DistributedSharedTlb(4, 64, ways=4)
+    for pn in range(20):
+        tlb.insert_page_number(1, PAGE_4K, pn)
+    assert tlb.flush() == 20
+
+
+def test_read_port_pipelining():
+    """Two ports: three same-cycle accesses -> third slips one cycle."""
+    tlb = DistributedSharedTlb(4, 64, ways=4)
+    starts = [tlb.reserve_read(0, 100) for _ in range(3)]
+    assert sorted(starts) == [100, 100, 101]
+
+
+def test_write_port_single():
+    tlb = DistributedSharedTlb(4, 64, ways=4)
+    starts = [tlb.reserve_write(0, 100) for _ in range(2)]
+    assert sorted(starts) == [100, 101]
+
+
+def test_ports_are_per_shard():
+    tlb = DistributedSharedTlb(4, 64, ways=4)
+    assert tlb.reserve_read(0, 100) == 100
+    assert tlb.reserve_read(1, 100) == 100
+
+
+def test_out_of_order_reservation_allowed():
+    """A later call may reserve an earlier free cycle (engine run-ahead)."""
+    tlb = DistributedSharedTlb(4, 64, ways=4)
+    tlb.reserve_read(0, 500)
+    assert tlb.reserve_read(0, 100) == 100
+
+
+def test_reserve_many_counts_sweep():
+    tlb = DistributedSharedTlb(4, 64, ways=4)
+    last = tlb.write_ports[0].reserve_many(10, 5)
+    assert last == 14  # five back-to-back single-port writes
+
+
+def test_entries_must_divide():
+    with pytest.raises(ValueError):
+        MonolithicSharedTlb(1000, num_banks=3)
+
+
+def test_index_shift_spreads_consecutive_pages():
+    """Consecutive page numbers land on different slices AND use
+    distinct sets within a slice across strides."""
+    tlb = DistributedSharedTlb(4, 64, ways=4)  # 4 slices, 16 sets each
+    for pn in range(64):
+        tlb.insert_page_number(1, PAGE_4K, pn)
+    # 64 consecutive pages = 16 per slice; all should be resident
+    # because the index shift avoids piling them into one set.
+    assert sum(s.occupancy for s in tlb.shards) == 64

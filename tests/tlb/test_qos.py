@@ -1,0 +1,73 @@
+"""QoS way-partitioning (the paper's future-work interference fix)."""
+
+from repro.tlb.set_assoc import SetAssociativeTLB
+from repro.vm.address import PAGE_4K
+
+
+def make(quota=None):
+    tlb = SetAssociativeTLB(8, 8)  # one set, 8 ways
+    tlb.way_quota = quota
+    return tlb
+
+
+def test_no_quota_allows_monopoly():
+    tlb = make()
+    for pn in range(8):
+        tlb.insert(1, PAGE_4K, pn * 1)  # all same set
+    assert sum(1 for k in tlb.iter_keys() if k[0] == 1) == 8
+
+
+def test_quota_caps_one_asid():
+    tlb = make(quota=4)
+    for pn in range(16):
+        tlb.insert(1, PAGE_4K, pn)
+    own = [k for k in tlb.iter_keys() if k[0] == 1]
+    assert len(own) == 4
+
+
+def test_quota_evicts_own_lru_not_victims():
+    tlb = make(quota=4)
+    for pn in range(4):
+        tlb.insert(2, PAGE_4K, 100 + pn)  # the protected tenant
+    for pn in range(20):
+        tlb.insert(1, PAGE_4K, pn)  # the aggressor
+    # The protected ASID keeps all four entries.
+    assert all(tlb.probe(2, PAGE_4K, 100 + pn) for pn in range(4))
+    # The aggressor holds exactly its quota.
+    assert sum(1 for k in tlb.iter_keys() if k[0] == 1) == 4
+
+
+def test_quota_evicted_key_is_returned():
+    tlb = make(quota=2)
+    tlb.insert(1, PAGE_4K, 0)
+    tlb.insert(1, PAGE_4K, 1)
+    evicted = tlb.insert(1, PAGE_4K, 2)
+    assert evicted == (1, PAGE_4K, 0)
+
+
+def test_below_quota_uses_global_lru():
+    tlb = make(quota=6)
+    for pn in range(4):
+        tlb.insert(1, PAGE_4K, pn)
+    for pn in range(4):
+        tlb.insert(2, PAGE_4K, 100 + pn)
+    # Set is full (8); ASID 2 under quota inserts again -> global LRU
+    # (ASID 1's oldest) goes.
+    tlb.insert(2, PAGE_4K, 104)
+    assert not tlb.probe(1, PAGE_4K, 0)
+
+
+def test_quota_with_system_config():
+    from repro.sim import configs as cfg
+    from repro.sim.system import System
+
+    system = System(cfg.nocstar(4, qos_way_quota=2))
+    assert all(s.way_quota == 2 for s in system.shared_l2.shards)
+
+
+def test_quota_validation():
+    import pytest
+    from repro.sim import configs as cfg
+
+    with pytest.raises(ValueError):
+        cfg.nocstar(4, qos_way_quota=0)

@@ -1,0 +1,79 @@
+"""Invalidation-leader shootdown planning (§III-G)."""
+
+import pytest
+
+from repro.tlb.shootdown import InvalidationController
+
+
+def test_rejects_bad_granularity():
+    with pytest.raises(ValueError):
+        InvalidationController(8, 0)
+    with pytest.raises(ValueError):
+        InvalidationController(8, 16)
+
+
+def test_leader_of_groups():
+    controller = InvalidationController(16, 4)
+    assert controller.leader_of(0) == 0
+    assert controller.leader_of(3) == 0
+    assert controller.leader_of(4) == 4
+    assert controller.leader_of(15) == 12
+
+
+def test_leaders_list():
+    controller = InvalidationController(16, 8)
+    assert controller.leaders == [0, 8]
+
+
+def test_naive_policy_floods_every_core():
+    controller = InvalidationController(8, 1)
+    plan = controller.plan(initiator=3, home_slices=[5])
+    assert len(plan.messages) == 8  # every core relays its own invalidate
+    assert all(m.kind == "invalidate" and m.dst == 5 for m in plan.messages)
+
+
+def test_leader_policy_sends_one_invalidate_per_slice():
+    controller = InvalidationController(16, 8)
+    plan = controller.plan(initiator=3, home_slices=[5, 9])
+    invalidates = [m for m in plan.messages if m.kind == "invalidate"]
+    relays = [m for m in plan.messages if m.kind == "relay"]
+    assert len(invalidates) == 2
+    assert all(m.src == 0 for m in invalidates)  # core 3's leader is 0
+    assert relays == [plan.messages[0]]
+    assert relays[0].src == 3 and relays[0].dst == 0
+
+
+def test_initiating_leader_skips_relay():
+    controller = InvalidationController(16, 8)
+    plan = controller.plan(initiator=8, home_slices=[1])
+    assert all(m.kind == "invalidate" for m in plan.messages)
+    assert plan.messages[0].src == 8
+
+
+def test_single_leader_whole_chip():
+    controller = InvalidationController(32, 32)
+    plan = controller.plan(initiator=17, home_slices=[2])
+    kinds = [m.kind for m in plan.messages]
+    assert kinds == ["relay", "invalidate"]
+
+
+def test_every_core_invalidates_l1():
+    controller = InvalidationController(8, 4)
+    plan = controller.plan(0, [0])
+    assert plan.l1_invalidations == 8
+
+
+def test_message_count_scales_with_policy():
+    """Leaders cut message counts dramatically — the Fig 16R effect."""
+    naive = InvalidationController(64, 1).plan(0, [7])
+    leader = InvalidationController(64, 8).plan(0, [7])
+    assert len(naive.messages) == 64
+    assert len(leader.messages) <= 2
+
+
+def test_counters():
+    controller = InvalidationController(8, 4)
+    controller.plan(1, [0])
+    controller.plan(2, [0, 1])
+    assert controller.shootdowns == 2
+    assert controller.messages_sent >= 3

@@ -1,0 +1,34 @@
+"""TlbStats aggregation."""
+
+from repro.tlb.stats import TlbStats
+
+
+def test_rates_with_no_accesses_are_zero():
+    stats = TlbStats()
+    assert stats.l1_miss_rate == 0.0
+    assert stats.l2_miss_rate == 0.0
+
+
+def test_miss_rates():
+    stats = TlbStats(l1_hits=90, l1_misses=10, l2_hits=8, l2_misses=2)
+    assert stats.l1_miss_rate == 0.1
+    assert stats.l2_miss_rate == 0.2
+    assert stats.l1_accesses == 100
+    assert stats.l2_accesses == 10
+
+
+def test_merge_adds_counters():
+    a = TlbStats(l1_hits=10, walks=3, flushes=1)
+    b = TlbStats(l1_hits=5, walks=2, prefetches=7)
+    a.merge(b)
+    assert a.l1_hits == 15
+    assert a.walks == 5
+    assert a.prefetches == 7
+    assert a.flushes == 1
+
+
+def test_as_dict_round_trip():
+    stats = TlbStats(l1_hits=1, l1_misses=1, l2_hits=1, l2_misses=1, walks=1)
+    d = stats.as_dict()
+    assert d["l1_miss_rate"] == 0.5
+    assert d["walks"] == 1

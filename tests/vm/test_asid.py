@@ -1,0 +1,70 @@
+"""ASID allocation and recycling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vm.asid import AsidManager
+
+
+def test_rejects_zero_capacity():
+    with pytest.raises(ValueError):
+        AsidManager(0)
+
+
+def test_fresh_allocation_no_shootdown():
+    manager = AsidManager(4)
+    assignment = manager.activate(100)
+    assert assignment.asid != 0
+    assert not assignment.required_shootdown
+
+
+def test_reactivation_keeps_asid():
+    manager = AsidManager(4)
+    first = manager.activate(100)
+    second = manager.activate(100)
+    assert first.asid == second.asid
+    assert manager.recycles == 0
+
+
+def test_distinct_processes_distinct_asids():
+    manager = AsidManager(4)
+    asids = {manager.activate(pid).asid for pid in range(4)}
+    assert len(asids) == 4
+
+
+def test_recycle_evicts_lru():
+    manager = AsidManager(2)
+    a = manager.activate(1)
+    manager.activate(2)
+    manager.activate(1)  # touch 1 so 2 becomes LRU
+    assignment = manager.activate(3)
+    assert assignment.required_shootdown
+    assert assignment.recycled_from == 2
+    assert manager.recycles == 1
+    assert manager.asid_of(2) is None
+    assert manager.asid_of(1) == a.asid
+
+
+def test_release_returns_to_pool():
+    manager = AsidManager(1)
+    first = manager.activate(1)
+    manager.release(1)
+    second = manager.activate(2)
+    assert second.asid == first.asid
+    assert not second.required_shootdown  # clean release, no recycle
+
+
+def test_release_unknown_is_noop():
+    manager = AsidManager(2)
+    manager.release(42)
+    assert manager.active_count == 0
+
+
+@given(st.lists(st.integers(min_value=1, max_value=12), max_size=100))
+def test_invariants_under_random_schedules(pids):
+    manager = AsidManager(4)
+    for pid in pids:
+        assignment = manager.activate(pid)
+        assert 1 <= assignment.asid <= 4
+        manager.validate()
+        assert manager.active_count <= 4

@@ -1,0 +1,89 @@
+"""x86-64 radix page-table behaviour."""
+
+import pytest
+
+from repro.vm.address import PAGE_1G, PAGE_2M, PAGE_4K
+from repro.vm.page_table import ENTRY_BYTES, FRAME_BYTES, PageTable
+
+
+def test_walk_depth_by_page_size():
+    table = PageTable()
+    assert len(table.walk_addresses(1, 0, PAGE_4K)) == 4
+    assert len(table.walk_addresses(1, 0, PAGE_2M)) == 3
+    assert len(table.walk_addresses(1, 0, PAGE_1G)) == 2
+
+
+def test_walk_addresses_are_stable():
+    table = PageTable()
+    first = table.walk_addresses(1, 12345, PAGE_4K)
+    second = table.walk_addresses(1, 12345, PAGE_4K)
+    assert first == second
+
+
+def test_same_pml4_different_leaf():
+    """VPNs in the same 2MB region share all upper levels."""
+    table = PageTable()
+    a = table.walk_addresses(1, 512 * 7 + 1, PAGE_4K)
+    b = table.walk_addresses(1, 512 * 7 + 2, PAGE_4K)
+    assert a[:3] == b[:3]
+    assert a[3] != b[3]
+    assert abs(a[3] - b[3]) == ENTRY_BYTES
+
+
+def test_different_asids_use_different_tables():
+    table = PageTable()
+    a = table.walk_addresses(1, 100, PAGE_4K)
+    b = table.walk_addresses(2, 100, PAGE_4K)
+    assert a[0] != b[0]
+
+
+def test_map_page_is_idempotent():
+    table = PageTable()
+    first = table.map_page(1, 100, PAGE_4K)
+    second = table.map_page(1, 100, PAGE_4K)
+    assert first == second
+    assert table.pages_mapped == 1
+
+
+def test_map_page_superpage_collapses():
+    table = PageTable()
+    a = table.map_page(1, 512 * 3, PAGE_2M)
+    b = table.map_page(1, 512 * 3 + 99, PAGE_2M)
+    assert a.ppn == b.ppn
+    assert table.pages_mapped == 1
+
+
+def test_distinct_pages_get_distinct_frames():
+    table = PageTable()
+    ppns = {table.map_page(1, vpn, PAGE_4K).ppn for vpn in range(64)}
+    assert len(ppns) == 64
+
+
+def test_walk_entry_addresses_are_entry_aligned():
+    table = PageTable()
+    for addr in table.walk_addresses(1, 98765, PAGE_4K):
+        assert addr % ENTRY_BYTES == 0
+        assert addr >= FRAME_BYTES  # frame 0 is reserved
+
+
+def test_unmap_forgets_translation():
+    table = PageTable()
+    before = table.map_page(1, 100, PAGE_4K)
+    table.unmap(1, 100, PAGE_4K)
+    after = table.map_page(1, 100, PAGE_4K)
+    assert after.ppn != before.ppn  # remapped to a fresh frame
+
+
+def test_nodes_allocated_grows_sublinearly():
+    """Adjacent pages share table nodes: 512 pages need ~4 nodes, not 2048."""
+    table = PageTable()
+    for vpn in range(512):
+        table.map_page(1, vpn, PAGE_4K)
+    assert table.nodes_allocated <= 8
+
+
+def test_lookup_implicitly_maps():
+    table = PageTable()
+    pte = table.lookup(3, 777, PAGE_4K)
+    assert pte.page_size == PAGE_4K
+    assert table.pages_mapped == 1

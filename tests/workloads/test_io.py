@@ -1,0 +1,81 @@
+"""Workload trace persistence."""
+
+import pytest
+
+from repro.sim import configs as cfg
+from repro.sim.engine import simulate
+from repro.vm.address import PAGE_2M, PAGE_4K
+from repro.workloads.generators import build_multithreaded
+from repro.workloads.io import (
+    load_workload,
+    save_workload,
+    workload_from_records,
+)
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture()
+def workload():
+    return build_multithreaded(
+        get_workload("olio"), 4, accesses_per_core=400, seed=5, smt=2
+    )
+
+
+def test_round_trip_preserves_everything(tmp_path, workload):
+    path = tmp_path / "trace.npz"
+    save_workload(workload, path)
+    loaded = load_workload(path)
+    assert loaded.name == workload.name
+    assert loaded.seed == workload.seed
+    assert loaded.superpages == workload.superpages
+    assert loaded.traces == workload.traces
+    assert loaded.info == workload.info
+
+
+def test_loaded_trace_simulates_identically(tmp_path, workload):
+    path = tmp_path / "trace.npz"
+    save_workload(workload, path)
+    loaded = load_workload(path)
+    a = simulate(cfg.nocstar(4), workload)
+    b = simulate(cfg.nocstar(4), loaded)
+    assert a.cycles == b.cycles
+    assert a.stats.l2_misses == b.stats.l2_misses
+
+
+def test_version_check(tmp_path, workload):
+    import json
+    import numpy as np
+
+    path = tmp_path / "trace.npz"
+    save_workload(workload, path)
+    data = dict(np.load(path))
+    meta = json.loads(bytes(data["meta"]).decode())
+    meta["version"] = 99
+    data["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **data)
+    with pytest.raises(ValueError, match="version"):
+        load_workload(path)
+
+
+def test_from_records_builds_runnable_workload():
+    records = [
+        [(2, 1, PAGE_4K, 100 + i) for i in range(50)],
+        [(3, 1, PAGE_2M, i % 5) for i in range(50)],
+    ]
+    wl = workload_from_records("custom", records)
+    assert wl.num_cores == 2
+    result = simulate(cfg.private(2), wl)
+    assert result.stats.l1_accesses == 100
+
+
+def test_from_records_validation():
+    with pytest.raises(ValueError, match="empty"):
+        workload_from_records("x", [[]])
+    with pytest.raises(ValueError, match="gap"):
+        workload_from_records("x", [[(0, 1, PAGE_4K, 1)]])
+    with pytest.raises(ValueError, match="page size"):
+        workload_from_records("x", [[(1, 1, 8192, 1)]])
+    with pytest.raises(ValueError, match="negative"):
+        workload_from_records("x", [[(1, -1, PAGE_4K, 1)]])
+    with pytest.raises(ValueError, match="need"):
+        workload_from_records("x", [[(1, 1, PAGE_4K)]])

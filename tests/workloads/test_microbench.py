@@ -1,0 +1,46 @@
+"""Pathological microbenchmarks."""
+
+from repro.workloads.microbench import (
+    STORM_EVENTS_PER_RUN,
+    build_slice_hammer,
+    storm_config_for,
+)
+
+
+def test_storm_period_scales_with_trace():
+    short = storm_config_for(1000)
+    long = storm_config_for(100_000)
+    assert long.period > short.period
+    assert short.burst_entries == 512  # one 2MB promotion
+
+
+def test_storm_fires_expected_number_of_times():
+    config = storm_config_for(10_000, mean_gap=5.0)
+    expected_cycles = 10_000 * 6 * 1.6
+    fires = expected_cycles // config.period
+    assert STORM_EVENTS_PER_RUN - 2 <= fires <= STORM_EVENTS_PER_RUN + 2
+
+
+def test_slice_hammer_all_target_victim():
+    wl = build_slice_hammer(8, accesses_per_core=500, victim_slice=3)
+    for core in range(8):
+        for _, _, _, pn in wl.traces[core][0]:
+            assert pn % 8 == 3
+
+
+def test_slice_hammer_default_victim_is_last_core():
+    wl = build_slice_hammer(8, accesses_per_core=10)
+    assert wl.info["victim_slice"] == 7
+
+
+def test_slice_hammer_deterministic():
+    a = build_slice_hammer(4, accesses_per_core=100, seed=5)
+    b = build_slice_hammer(4, accesses_per_core=100, seed=5)
+    assert a.traces == b.traces
+
+
+def test_slice_hammer_validates_victim():
+    import pytest
+
+    with pytest.raises(ValueError):
+        build_slice_hammer(8, victim_slice=8)

@@ -1,0 +1,30 @@
+"""Multiprogrammed combination enumeration."""
+
+from repro.workloads.multiprog import (
+    combinations_of_four,
+    sample_combinations,
+)
+
+
+def test_330_combinations():
+    """C(11, 4) = 330 — the paper's Fig 18 population."""
+    assert len(combinations_of_four()) == 330
+
+
+def test_combinations_unique_and_sorted_within():
+    combos = combinations_of_four()
+    assert len(set(combos)) == 330
+    assert all(len(set(c)) == 4 for c in combos)
+
+
+def test_sample_is_deterministic():
+    assert sample_combinations(10, seed=3) == sample_combinations(10, seed=3)
+
+
+def test_sample_subset_of_population():
+    population = set(combinations_of_four())
+    assert set(sample_combinations(25)) <= population
+
+
+def test_sample_all_returns_everything():
+    assert len(sample_combinations(1000)) == 330

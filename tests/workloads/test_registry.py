@@ -1,0 +1,42 @@
+"""The paper's workload roster."""
+
+import pytest
+
+from repro.workloads.registry import WORKLOAD_NAMES, WORKLOADS, get_workload
+
+
+def test_all_eleven_paper_workloads_present():
+    assert set(WORKLOAD_NAMES) == {
+        "graph500", "canneal", "xsbench", "datacaching", "swtesting",
+        "graphanalytics", "nutch", "olio", "redis", "mongodb", "gups",
+    }
+
+
+def test_get_workload():
+    assert get_workload("gups").name == "gups"
+
+
+def test_unknown_workload_names_known_ones():
+    with pytest.raises(KeyError, match="graph500"):
+        get_workload("doom")
+
+
+def test_gups_is_uniform_random():
+    gups = get_workload("gups")
+    assert gups.cold_alpha == 0.0
+    assert gups.seq_fraction == 0.0
+
+
+def test_poor_locality_workloads_have_big_cold_pools():
+    """canneal / xsbench / gups: the paper's shared-TLB winners."""
+    avg_cold = sum(
+        WORKLOADS[n].cold_fraction for n in WORKLOAD_NAMES
+    ) / len(WORKLOAD_NAMES)
+    for name in ("canneal", "xsbench", "gups"):
+        assert WORKLOADS[name].cold_fraction >= avg_cold
+
+
+def test_superpage_fractions_in_paper_band():
+    """§V: 50-80% of each footprint ends up in superpages."""
+    for spec in WORKLOADS.values():
+        assert 0.5 <= spec.superpage_fraction <= 0.8
