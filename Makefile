@@ -1,29 +1,45 @@
 PYTHON ?= python
+# Run against the in-tree sources whether or not the package is installed.
+RUN = PYTHONPATH=src $(PYTHON)
+# Content-addressed result cache used by the CLI (see repro.exec).
+CACHE_DIR ?= .repro-cache
 
-.PHONY: install test bench bench-full examples calibrate clean
+.PHONY: install test smoke verify bench bench-full examples calibrate \
+        cache-clean clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	$(RUN) -m pytest tests/
+
+# Parallel smoke run: exercises the multiprocessing pool end-to-end
+# (--no-cache so it always simulates rather than replaying the cache).
+smoke:
+	$(RUN) -m repro run --jobs 2 --no-cache --cores 8 --accesses 2000
+
+# The full local gate: unit/integration tests plus the parallel smoke.
+verify: test smoke
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(RUN) -m pytest benchmarks/ --benchmark-only
 
 bench-full:
-	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+	REPRO_BENCH_FULL=1 $(RUN) -m pytest benchmarks/ --benchmark-only
 
 examples:
 	for script in examples/*.py; do \
 		echo "=== $$script ==="; \
-		$(PYTHON) $$script || exit 1; \
+		$(RUN) $$script || exit 1; \
 	done
 
 calibrate:
-	$(PYTHON) tools/calibrate.py 16 10000
-	$(PYTHON) tools/calibrate.py 32 8000
+	$(RUN) tools/calibrate.py 16 10000
+	$(RUN) tools/calibrate.py 32 8000
 
-clean:
+cache-clean:
+	rm -rf $(CACHE_DIR)
+
+clean: cache-clean
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
 	find . -name __pycache__ -type d -exec rm -rf {} +

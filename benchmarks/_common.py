@@ -8,6 +8,11 @@ scale that keeps the full bench suite in the tens of minutes.
 
 Workload builds are cached per (name, cores, accesses, superpages,
 seed, smt) so the many configurations of one figure reuse one trace.
+
+Execution goes through ``repro.exec.Runner``: set ``REPRO_BENCH_JOBS=N``
+to fan a lineup's simulations over N worker processes, and
+``REPRO_BENCH_CACHE=<dir>`` to memoise results in a content-addressed
+cache so re-running a bench suite only simulates what changed.
 """
 
 from __future__ import annotations
@@ -16,13 +21,18 @@ import os
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.exec.runner import Runner
 from repro.sim import configs as cfg
 from repro.sim.engine import ShootdownTraffic, StormConfig, simulate
-from repro.sim.run import Comparison, compare
+from repro.sim.run import Comparison
 from repro.workloads.generators import build_multiprogrammed, build_multithreaded
 from repro.workloads.registry import WORKLOAD_NAMES, WORKLOADS, get_workload
 
 FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+#: Worker processes per lineup (1 = serial, the default).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
+#: Directory of the content-addressed result cache ("" disables).
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE", "") or None
 
 #: Accesses per core for the standard per-workload figures.
 ACCESSES = 12_000 if FULL_SCALE else 5_000
@@ -67,6 +77,16 @@ def multiprog_workload(
     )
 
 
+def runner() -> Runner:
+    """A Runner honouring the bench environment knobs."""
+    return Runner(jobs=BENCH_JOBS, cache_dir=BENCH_CACHE)
+
+
+def lineup(names: Sequence[str], cores: int) -> List[cfg.SystemConfig]:
+    """Build configurations from the registry (``cfg.register_config``)."""
+    return [cfg.build_config(name, cores) for name in names]
+
+
 def run_lineup(
     name: str,
     cores: int,
@@ -76,7 +96,7 @@ def run_lineup(
     **simulate_kwargs,
 ) -> Comparison:
     wl = workload(name, cores, accesses, superpages)
-    return compare(wl, configurations, **simulate_kwargs)
+    return runner().run_prebuilt(wl, configurations, **simulate_kwargs)
 
 
 def once(benchmark, fn):

@@ -16,10 +16,16 @@ from dataclasses import replace
 from repro.analysis.tables import render_table
 from repro.sim import configs as cfg
 from repro.sim.engine import simulate
-from repro.sim.run import compare
 from repro.workloads.microbench import build_slice_hammer
 
-from _common import ACCESSES, multiprog_workload, once, report, workload
+from _common import (
+    ACCESSES,
+    multiprog_workload,
+    once,
+    report,
+    runner,
+    workload,
+)
 
 CORES = 16
 
@@ -60,7 +66,7 @@ def run():
         config = replace(
             cfg.nocstar(CORES), qos_way_quota=quota, name=label
         )
-        lineup = compare(mix, [cfg.private(CORES), config])
+        lineup = runner().run_prebuilt(mix, [cfg.private(CORES), config])
         result = lineup.results[label]
         apps = result.app_speedups_over(lineup.baseline)
         qos_rows.append(

@@ -10,11 +10,9 @@ the other shared organisations.
 """
 
 from repro.analysis.tables import render_table
-from repro.sim import configs as cfg
-from repro.sim.run import compare
 from repro.workloads.multiprog import combinations_of_four, sample_combinations
 
-from _common import FULL_SCALE, multiprog_workload, once, report
+from _common import FULL_SCALE, lineup, multiprog_workload, once, report, runner
 
 CORES = 32
 ACCESSES = 2_000 if not FULL_SCALE else 4_000
@@ -27,21 +25,17 @@ CONFIGS = ("monolithic-mesh", "distributed", "nocstar")
 def run():
     throughput = {c: [] for c in CONFIGS}
     worst_app = {c: [] for c in CONFIGS}
+    run = runner()
+    configs = lineup(
+        ("private", "monolithic", "distributed", "nocstar"), CORES
+    )
     for combo in COMBOS:
         wl = multiprog_workload(tuple(combo), CORES, ACCESSES)
-        lineup = compare(
-            wl,
-            [
-                cfg.private(CORES),
-                cfg.monolithic(CORES),
-                cfg.distributed(CORES),
-                cfg.nocstar(CORES),
-            ],
-        )
+        cmp = run.run_prebuilt(wl, configs)
         for config in CONFIGS:
-            result = lineup.results[config]
-            throughput[config].append(result.speedup_over(lineup.baseline))
-            apps = result.app_speedups_over(lineup.baseline)
+            result = cmp.results[config]
+            throughput[config].append(result.speedup_over(cmp.baseline))
+            apps = result.app_speedups_over(cmp.baseline)
             worst_app[config].append(min(apps.values()))
     for config in CONFIGS:
         throughput[config].sort()

@@ -1,48 +1,33 @@
 #!/usr/bin/env python3
 """Quickstart: compare NOCSTAR against private L2 TLBs on one workload.
 
-Builds a 16-core graph500-like trace, runs it through the paper's five
-TLB organisations (Table II), and prints speedups, miss statistics, and
+Describes a 16-core graph500 experiment as a `Scenario`, runs it
+through the paper's five TLB organisations (Table II) with the
+parallel/cached `Runner`, and prints speedups, miss statistics, and
 interconnect behaviour.
 
 Run:  python examples/quickstart.py
+(Re-running is near-instant: results come back from the .repro-cache
+content-addressed result cache.)
 """
 
 from repro.analysis.tables import render_table
-from repro.sim import (
-    compare,
-    distributed,
-    ideal,
-    monolithic,
-    nocstar,
-    private,
-)
-from repro.workloads import build_multithreaded, get_workload
+from repro.api import Runner, Scenario, paper_lineup
 
 
 def main() -> None:
     cores = 16
-    print(f"Building a {cores}-core graph500 trace...")
-    workload = build_multithreaded(
-        get_workload("graph500"),
-        num_cores=cores,
+    scenario = Scenario(
+        configurations=paper_lineup(cores),
+        workloads="graph500",
         accesses_per_core=8_000,
         seed=42,
     )
-    print(f"  {workload.total_accesses} memory references, "
-          f"superpages={'on' if workload.superpages else 'off'}")
-
-    print("Simulating the Table II configurations...")
-    lineup = compare(
-        workload,
-        [
-            private(cores),
-            monolithic(cores),
-            distributed(cores),
-            nocstar(cores),
-            ideal(cores),
-        ],
-    )
+    print(f"Simulating the Table II configurations ({cores} cores)...")
+    runner = Runner(jobs=2, cache_dir=".repro-cache")
+    lineup = runner.run_one(scenario)
+    print(f"  cache: {runner.stats['hits']} hit(s), "
+          f"{runner.stats['misses']} miss(es)")
 
     rows = []
     for name, result in lineup.results.items():

@@ -3,6 +3,12 @@ Low-Latency Interconnects" (NOCSTAR, MICRO 2018).
 
 Public API tour:
 
+* ``repro.api`` — the supported stable surface in one namespace:
+  :class:`~repro.sim.scenario.Scenario`,
+  :class:`~repro.exec.runner.Runner`, the run harness, configuration
+  factories and registry, and the workload registry.
+* ``repro.exec`` — parallel experiment runner with content-addressed
+  result caching (the execution substrate behind every sweep).
 * ``repro.sim`` — build configurations (:func:`repro.sim.private`,
   :func:`repro.sim.nocstar`, ...) and run workloads
   (:func:`repro.sim.simulate`, :func:`repro.sim.run_suite`).
@@ -17,22 +23,27 @@ Public API tour:
 
 Quickstart::
 
-    from repro.sim import nocstar, private, compare
-    from repro.workloads import build_multithreaded, get_workload
+    from repro import api
 
-    wl = build_multithreaded(get_workload("graph500"), num_cores=16)
-    cmp = compare(wl, [private(16), nocstar(16)])
+    scenario = api.Scenario(
+        configurations=[api.private(16), api.nocstar(16)],
+        workloads="graph500",
+    )
+    cmp = api.Runner(jobs=4).run_one(scenario)
     print(cmp.speedup("nocstar"))
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from repro import analysis, core, energy, mem, noc, sim, tlb, vm, workloads
+from repro import analysis, api, core, energy, mem, noc, sim, tlb, vm, workloads
+from repro import exec as exec_  # "exec" shadows the builtin; alias too
 
 __all__ = [
     "analysis",
+    "api",
     "core",
     "energy",
+    "exec",
     "mem",
     "noc",
     "sim",

@@ -1,0 +1,103 @@
+"""``repro.api`` — the supported public surface of this package.
+
+This facade is the stability boundary: everything in ``__all__`` below
+keeps its name and semantics across releases, with deprecation cycles
+for any change.  Internal modules (``repro.sim.engine`` internals, TLB
+structures, NoC models, ...) may be imported directly for research, but
+only what is re-exported here is covered by that promise.
+
+Typical use::
+
+    from repro import api
+
+    scenario = api.Scenario(
+        configurations=api.paper_lineup(16),
+        workloads=("graph500", "gups"),
+        accesses_per_core=8_000,
+        seed=42,
+    )
+    runner = api.Runner(jobs=4, cache_dir=".repro-cache")
+    comparisons = runner.run(scenario)
+    print(comparisons["graph500"].speedup("nocstar"))
+"""
+
+from __future__ import annotations
+
+from repro.exec.cache import ResultCache, canonical_json, unit_key
+from repro.exec.runner import Runner
+from repro.sim.configs import (
+    SystemConfig,
+    available_configs,
+    build_config,
+    distributed,
+    ideal,
+    monolithic,
+    nocstar,
+    nocstar_ideal,
+    paper_lineup,
+    private,
+    register_config,
+)
+from repro.sim.engine import (
+    ENGINE_VERSION,
+    ShootdownTraffic,
+    StormConfig,
+    simulate,
+)
+from repro.sim.results import RunResult, geometric_mean
+from repro.sim.run import (
+    Comparison,
+    SpeedupSummary,
+    compare,
+    run_suite,
+    summarize_speedups,
+)
+from repro.sim.scenario import RunUnit, Scenario
+from repro.workloads.generators import (
+    build_multiprogrammed,
+    build_multithreaded,
+)
+from repro.workloads.registry import WORKLOAD_NAMES, WORKLOADS, get_workload
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    # scenario & execution
+    "Scenario",
+    "RunUnit",
+    "Runner",
+    "ResultCache",
+    "unit_key",
+    "canonical_json",
+    "ENGINE_VERSION",
+    # run harness
+    "simulate",
+    "compare",
+    "run_suite",
+    "Comparison",
+    "SpeedupSummary",
+    "summarize_speedups",
+    "RunResult",
+    "geometric_mean",
+    # configurations
+    "SystemConfig",
+    "register_config",
+    "available_configs",
+    "build_config",
+    "paper_lineup",
+    "private",
+    "monolithic",
+    "distributed",
+    "nocstar",
+    "nocstar_ideal",
+    "ideal",
+    # pathological traffic
+    "StormConfig",
+    "ShootdownTraffic",
+    # workloads
+    "WorkloadSpec",
+    "WORKLOADS",
+    "WORKLOAD_NAMES",
+    "get_workload",
+    "build_multithreaded",
+    "build_multiprogrammed",
+]

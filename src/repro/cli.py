@@ -11,63 +11,87 @@ Commands:
 * ``configs``    — show the Table II configuration lineup;
 * ``export-trace`` — write a synthetic workload to a portable ``.npz``
   trace that ``run --trace`` (or external tools) can consume.
+
+``run`` and ``sweep`` execute through :class:`repro.exec.Runner`:
+``--jobs N`` fans independent simulations out over a process pool, and
+results are memoised in a content-addressed cache under ``--cache-dir``
+(default ``.repro-cache``; ``--no-cache`` disables it) so warm re-runs
+skip simulation entirely.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis.tables import render_table
+from repro.exec.runner import Runner
 from repro.noc.synthetic import run_mesh_traffic, run_nocstar_traffic
 from repro.noc.topology import MeshTopology
 from repro.sim import configs as cfg
-from repro.sim.run import compare, run_suite
+from repro.sim.scenario import Scenario
 from repro.workloads.generators import build_multithreaded
 from repro.workloads.io import load_workload, save_workload
 from repro.workloads.registry import WORKLOAD_NAMES, WORKLOADS, get_workload
 
-CONFIG_FACTORIES = {
-    "private": cfg.private,
-    "monolithic": cfg.monolithic,
-    "monolithic-smart": lambda n: cfg.monolithic(n, noc="smart"),
-    "distributed": cfg.distributed,
-    "nocstar": cfg.nocstar,
-    "nocstar-ideal": cfg.nocstar_ideal,
-    "ideal": cfg.ideal,
-}
+#: Default content-addressed cache location (overridable per-invocation
+#: with --cache-dir and globally with $REPRO_CACHE_DIR).
+DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
 
 
 def _build_configs(names: Sequence[str], cores: int) -> List[cfg.SystemConfig]:
     configs = []
     for name in names:
-        factory = CONFIG_FACTORIES.get(name)
-        if factory is None:
-            known = ", ".join(sorted(CONFIG_FACTORIES))
+        try:
+            configs.append(cfg.build_config(name, cores))
+        except KeyError:
+            known = ", ".join(cfg.available_configs())
             raise SystemExit(f"unknown config {name!r}; known: {known}")
-        configs.append(factory(cores))
     return configs
 
 
+def _runner_from(args: argparse.Namespace) -> Runner:
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1 (got {args.jobs})")
+    return Runner(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+
+
+def _report_cache(runner: Runner) -> None:
+    if runner.cache is not None:
+        print(
+            f"[cache] {runner.stats['hits']} hit(s), "
+            f"{runner.stats['misses']} miss(es) in {runner.cache.root}",
+            file=sys.stderr,
+        )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    names = args.configs.split(",")
+    if "private" not in names:
+        names = ["private"] + names
+    runner = _runner_from(args)
     if args.trace:
         workload = load_workload(args.trace)
         if workload.num_cores != args.cores:
             args.cores = workload.num_cores
+        lineup = runner.run_prebuilt(
+            workload, _build_configs(names, args.cores)
+        )
     else:
-        spec = get_workload(args.workload)
-        workload = build_multithreaded(
-            spec,
-            args.cores,
+        scenario = Scenario(
+            configurations=_build_configs(names, args.cores),
+            workloads=args.workload,
             accesses_per_core=args.accesses,
             seed=args.seed,
             superpages=not args.no_superpages,
         )
-    names = args.configs.split(",")
-    if "private" not in names:
-        names = ["private"] + names
-    lineup = compare(workload, _build_configs(names, args.cores))
+        lineup = runner.run_one(scenario)
     rows = []
     for name, result in lineup.results.items():
         rows.append(
@@ -84,6 +108,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             ["config", "cycles", "speedup", "L2 misses", "walks"], rows
         )
     )
+    _report_cache(runner)
     return 0
 
 
@@ -91,13 +116,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     names = (
         args.workloads.split(",") if args.workloads else list(WORKLOAD_NAMES)
     )
-    comparisons = run_suite(
-        cfg.paper_lineup(args.cores),
-        num_cores=args.cores,
-        workload_names=names,
-        accesses_per_core=args.accesses,
-        seed=args.seed,
-        superpages=not args.no_superpages,
+    runner = _runner_from(args)
+    comparisons = runner.run(
+        Scenario(
+            configurations=cfg.paper_lineup(args.cores),
+            workloads=tuple(names),
+            accesses_per_core=args.accesses,
+            seed=args.seed,
+            superpages=not args.no_superpages,
+        )
     )
     config_names = ["monolithic-mesh", "distributed", "nocstar", "ideal"]
     rows = [
@@ -112,6 +139,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         ]
     )
     print(render_table(["workload"] + config_names, rows))
+    _report_cache(runner)
     return 0
 
 
@@ -194,7 +222,24 @@ def cmd_configs(args: argparse.Namespace) -> int:
             ["name", "scheme", "interconnect", "entries/core", "banks"], rows
         )
     )
+    print("registered: " + ", ".join(cfg.available_configs()))
     return 0
+
+
+def _add_runner_options(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for independent simulations (default 1)",
+    )
+    sub_parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help="content-addressed result cache directory "
+             f"(default {DEFAULT_CACHE_DIR!r})",
+    )
+    sub_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always simulate; neither read nor write the result cache",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -213,12 +258,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--configs",
         default="monolithic,distributed,nocstar,ideal",
-        help="comma-separated configuration names",
+        help="comma-separated configuration names "
+             "(see `repro configs` for the registry)",
     )
     run_p.add_argument(
         "--trace", default="",
         help="run a saved .npz trace instead of a synthetic workload",
     )
+    _add_runner_options(run_p)
     run_p.set_defaults(func=cmd_run)
 
     export_p = sub.add_parser(
@@ -239,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--no-superpages", action="store_true")
     sweep_p.add_argument("--workloads", default="",
                          help="comma-separated subset (default: all)")
+    _add_runner_options(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 
     wl_p = sub.add_parser("workloads", help="list the workload suite")

@@ -1,0 +1,26 @@
+"""Experiment execution layer: parallel runner + content-addressed cache.
+
+``repro.exec`` is the substrate every sweep runs on: it decomposes a
+:class:`~repro.sim.scenario.Scenario` into independent run units, fans
+them out over a process pool, and memoises each unit's result under a
+content address so warm re-runs skip simulation entirely.  See
+:mod:`repro.exec.runner` and :mod:`repro.exec.cache`.
+"""
+
+from repro.exec.cache import (
+    ResultCache,
+    canonical_json,
+    canonicalize,
+    unit_key,
+    workload_fingerprint,
+)
+from repro.exec.runner import Runner
+
+__all__ = [
+    "ResultCache",
+    "Runner",
+    "canonical_json",
+    "canonicalize",
+    "unit_key",
+    "workload_fingerprint",
+]

@@ -1,0 +1,306 @@
+"""Parallel experiment runner with content-addressed result caching.
+
+The :class:`Runner` executes the independent :class:`RunUnit` grains of
+a :class:`~repro.sim.scenario.Scenario`:
+
+* **fan-out** — with ``jobs=N`` the units are mapped over a
+  ``multiprocessing`` pool (``jobs=1`` is a pure in-process serial
+  fallback with zero pool overhead);
+* **memoisation** — with a ``cache_dir``, every unit's result is stored
+  under its content address (see :mod:`repro.exec.cache`); warm re-runs
+  of a suite skip simulation entirely;
+* **observability** — every unit emits one JSONL telemetry record
+  (key, wall time, cache hit/miss, cycles, miss rates) so benchmark
+  trajectories can be tracked over time.
+
+Determinism: units are rebuilt from seeds inside each worker, the
+engine is deterministic, and results are reassembled in submission
+order — parallel, cached, and serial paths are bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.cache import (
+    ResultCache,
+    canonicalize,
+    unit_key,
+    workload_fingerprint,
+)
+from repro.sim import configs as cfg
+from repro.sim.engine import (
+    DEFAULT_QUANTUM,
+    ENGINE_VERSION,
+    ShootdownTraffic,
+    StormConfig,
+    simulate,
+)
+from repro.sim.results import RunResult
+from repro.sim.run import Comparison
+from repro.sim.scenario import RunUnit, Scenario
+from repro.workloads.trace import Workload
+
+#: Telemetry file dropped next to the cache when none is specified.
+TELEMETRY_BASENAME = "telemetry.jsonl"
+
+
+def _execute_unit(unit: RunUnit) -> Tuple[RunResult, float]:
+    """Pool worker body: one deterministic simulation, timed."""
+    start = time.perf_counter()
+    result = unit.execute()
+    return result, time.perf_counter() - start
+
+
+def _execute_prebuilt(args) -> Tuple[RunResult, float]:
+    config, workload, storm, shootdown, record_intervals, quantum = args
+    start = time.perf_counter()
+    result = simulate(
+        config,
+        workload,
+        quantum=quantum,
+        storm=storm,
+        shootdown=shootdown,
+        record_intervals=record_intervals,
+    )
+    return result, time.perf_counter() - start
+
+
+class Runner:
+    """Executes scenarios over a worker pool, through a result cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) runs serially in-process.
+    cache_dir:
+        Directory of the content-addressed result cache.  ``None``
+        disables caching (and telemetry, unless ``telemetry_path`` is
+        given explicitly).
+    use_cache:
+        Master switch; ``False`` ignores ``cache_dir`` for lookups and
+        stores (the CLI's ``--no-cache``).
+    telemetry_path:
+        JSONL file appended with one record per executed unit.
+        Defaults to ``<cache_dir>/telemetry.jsonl`` when caching is on.
+    engine_version:
+        Cache-key version tag; defaults to the engine's own
+        :data:`~repro.sim.engine.ENGINE_VERSION`.  Exposed so tests can
+        prove that bumping the tag invalidates stale entries.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+        telemetry_path: Optional[str] = None,
+        engine_version: Optional[str] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.engine_version = engine_version or ENGINE_VERSION
+        self.cache: Optional[ResultCache] = None
+        if cache_dir is not None and use_cache:
+            self.cache = ResultCache(cache_dir)
+        if telemetry_path is None and self.cache is not None:
+            telemetry_path = os.path.join(self.cache.root, TELEMETRY_BASENAME)
+        self.telemetry_path = telemetry_path
+        #: Hit/miss counters of the most recent ``run``/``execute`` call.
+        self.stats: Dict[str, int] = {"hits": 0, "misses": 0}
+
+    # ------------------------------------------------------------------
+    # scenario execution
+
+    def run(self, scenario: Scenario) -> Dict[str, Comparison]:
+        """Run a full scenario; one :class:`Comparison` per workload."""
+        names = [config.name for config in scenario.configurations]
+        if scenario.baseline_name not in names:
+            raise ValueError(
+                f"no baseline {scenario.baseline_name!r} in the lineup"
+            )
+        units = scenario.units()
+        results = self.execute_units(units)
+        per_config = len(scenario.configurations)
+        out: Dict[str, Comparison] = {}
+        for index, spec in enumerate(scenario.workloads):
+            chunk = results[index * per_config : (index + 1) * per_config]
+            out[spec.name] = Comparison(
+                spec.name,
+                dict(zip(names, chunk)),
+                scenario.baseline_name,
+            )
+        return out
+
+    def run_one(self, scenario: Scenario) -> Comparison:
+        """Run a single-workload scenario and return its comparison."""
+        if len(scenario.workloads) != 1:
+            raise ValueError(
+                "run_one needs a single-workload scenario; "
+                "use run() for sweeps"
+            )
+        return self.run(scenario)[scenario.workloads[0].name]
+
+    def execute_units(self, units: Sequence[RunUnit]) -> List[RunResult]:
+        """Execute units (cache, then pool); results in unit order."""
+        self.stats = {"hits": 0, "misses": 0}
+        keys: List[Optional[str]] = [None] * len(units)
+        results: List[Optional[RunResult]] = [None] * len(units)
+        pending: List[int] = []
+        for i, unit in enumerate(units):
+            if self.cache is not None:
+                keys[i] = unit_key(unit, self.engine_version)
+                start = time.perf_counter()
+                hit = self.cache.get(keys[i])
+                if hit is not None:
+                    results[i] = hit
+                    self.stats["hits"] += 1
+                    self._telemetry(
+                        keys[i], unit.config.name, unit.workload.name,
+                        unit.config.num_cores, unit.seed, "hit",
+                        time.perf_counter() - start, hit,
+                    )
+                    continue
+            pending.append(i)
+
+        executed = self._map(
+            _execute_unit, [units[i] for i in pending]
+        )
+        for i, (result, wall) in zip(pending, executed):
+            results[i] = result
+            self.stats["misses"] += 1
+            if self.cache is not None:
+                self.cache.put(keys[i], result)
+            unit = units[i]
+            self._telemetry(
+                keys[i], unit.config.name, unit.workload.name,
+                unit.config.num_cores, unit.seed,
+                "miss" if self.cache is not None else "off", wall, result,
+            )
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # prebuilt workloads (loaded traces, multiprogrammed mixes)
+
+    def run_prebuilt(
+        self,
+        workload: Workload,
+        configurations: Sequence[cfg.SystemConfig],
+        baseline_name: str = "private",
+        storm: Optional[StormConfig] = None,
+        shootdown: Optional[ShootdownTraffic] = None,
+        record_intervals: bool = False,
+        quantum: int = DEFAULT_QUANTUM,
+    ) -> Comparison:
+        """Run an already-built workload through a lineup.
+
+        The cache key hashes the workload's trace records (there is no
+        spec to canonicalise), so loaded ``.npz`` traces and
+        multiprogrammed mixes cache just as scenario units do.
+        """
+        configurations = list(configurations)
+        names = [config.name for config in configurations]
+        if baseline_name not in names:
+            raise ValueError(f"no baseline {baseline_name!r} in the lineup")
+        self.stats = {"hits": 0, "misses": 0}
+        keys: List[Optional[str]] = [None] * len(configurations)
+        results: List[Optional[RunResult]] = [None] * len(configurations)
+        pending: List[int] = []
+        fingerprint = (
+            workload_fingerprint(workload) if self.cache is not None else None
+        )
+        for i, config in enumerate(configurations):
+            if self.cache is not None:
+                payload = {
+                    "workload_fingerprint": fingerprint,
+                    "config": canonicalize(config),
+                    "storm": canonicalize(storm),
+                    "shootdown": canonicalize(shootdown),
+                    "record_intervals": record_intervals,
+                    "quantum": quantum,
+                }
+                keys[i] = unit_key(payload, self.engine_version)
+                start = time.perf_counter()
+                hit = self.cache.get(keys[i])
+                if hit is not None:
+                    results[i] = hit
+                    self.stats["hits"] += 1
+                    self._telemetry(
+                        keys[i], config.name, workload.name,
+                        config.num_cores, workload.seed, "hit",
+                        time.perf_counter() - start, hit,
+                    )
+                    continue
+            pending.append(i)
+
+        executed = self._map(
+            _execute_prebuilt,
+            [
+                (
+                    configurations[i], workload, storm, shootdown,
+                    record_intervals, quantum,
+                )
+                for i in pending
+            ],
+        )
+        for i, (result, wall) in zip(pending, executed):
+            results[i] = result
+            self.stats["misses"] += 1
+            if self.cache is not None:
+                self.cache.put(keys[i], result)
+            self._telemetry(
+                keys[i], configurations[i].name, workload.name,
+                configurations[i].num_cores, workload.seed,
+                "miss" if self.cache is not None else "off", wall, result,
+            )
+        return Comparison(workload.name, dict(zip(names, results)), baseline_name)
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _map(self, fn, items: List) -> List[Tuple[RunResult, float]]:
+        if not items:
+            return []
+        if self.jobs > 1 and len(items) > 1:
+            workers = min(self.jobs, len(items))
+            with multiprocessing.Pool(processes=workers) as pool:
+                return pool.map(fn, items, chunksize=1)
+        return [fn(item) for item in items]
+
+    def _telemetry(
+        self,
+        key: Optional[str],
+        config_name: str,
+        workload_name: str,
+        cores: int,
+        seed: int,
+        cache_state: str,
+        wall_s: float,
+        result: RunResult,
+    ) -> None:
+        if self.telemetry_path is None:
+            return
+        record = {
+            "key": key,
+            "config": config_name,
+            "workload": workload_name,
+            "cores": cores,
+            "seed": seed,
+            "engine": self.engine_version,
+            "cache": cache_state,
+            "wall_s": round(wall_s, 6),
+            "cycles": result.cycles,
+            "l1_miss_rate": result.stats.l1_miss_rate,
+            "l2_miss_rate": result.stats.l2_miss_rate,
+            "walks": result.stats.walks,
+        }
+        directory = os.path.dirname(self.telemetry_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.telemetry_path, "a") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")

@@ -2,6 +2,8 @@
 
 from repro.sim.configs import (
     SystemConfig,
+    available_configs,
+    build_config,
     distributed,
     ideal,
     monolithic,
@@ -9,8 +11,14 @@ from repro.sim.configs import (
     nocstar_ideal,
     paper_lineup,
     private,
+    register_config,
 )
-from repro.sim.engine import ShootdownTraffic, StormConfig, simulate
+from repro.sim.engine import (
+    ENGINE_VERSION,
+    ShootdownTraffic,
+    StormConfig,
+    simulate,
+)
 from repro.sim.results import RunResult, geometric_mean
 from repro.sim.run import (
     Comparison,
@@ -19,10 +27,13 @@ from repro.sim.run import (
     run_suite,
     summarize_speedups,
 )
+from repro.sim.scenario import RunUnit, Scenario
 from repro.sim.system import System
 
 __all__ = [
     "SystemConfig",
+    "available_configs",
+    "build_config",
     "distributed",
     "ideal",
     "monolithic",
@@ -30,6 +41,8 @@ __all__ = [
     "nocstar_ideal",
     "paper_lineup",
     "private",
+    "register_config",
+    "ENGINE_VERSION",
     "ShootdownTraffic",
     "StormConfig",
     "simulate",
@@ -40,5 +53,7 @@ __all__ = [
     "compare",
     "run_suite",
     "summarize_speedups",
+    "RunUnit",
+    "Scenario",
     "System",
 ]

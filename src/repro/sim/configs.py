@@ -18,10 +18,50 @@ the paper evaluates:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.config import NocstarConfig
 from repro.tlb.l2_shared import MonolithicSharedTlb
+
+#: A factory takes a core count (plus overrides) and returns a config.
+ConfigFactory = Callable[..., "SystemConfig"]
+
+_CONFIG_REGISTRY: Dict[str, ConfigFactory] = {}
+
+
+def register_config(name: str, factory: Optional[ConfigFactory] = None):
+    """Register a named configuration factory.
+
+    Usable as a decorator (``@register_config("private")``) or a plain
+    call (``register_config("monolithic-smart", lambda n, **o: ...)``).
+    Names must be unique — duplicates raise ``ValueError`` so two
+    modules cannot silently fight over one name.
+    """
+
+    def _register(fn: ConfigFactory) -> ConfigFactory:
+        if name in _CONFIG_REGISTRY:
+            raise ValueError(f"configuration {name!r} is already registered")
+        _CONFIG_REGISTRY[name] = fn
+        return fn
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def available_configs() -> Tuple[str, ...]:
+    """Every registered configuration name, sorted."""
+    return tuple(sorted(_CONFIG_REGISTRY))
+
+
+def build_config(name: str, num_cores: int, **overrides) -> "SystemConfig":
+    """Build a registered configuration by name."""
+    try:
+        factory = _CONFIG_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_configs())
+        raise KeyError(f"unknown config {name!r}; known: {known}") from None
+    return factory(num_cores, **overrides)
 
 #: Schemes and interconnect kinds.
 PRIVATE = "private"
@@ -98,12 +138,14 @@ class SystemConfig:
         return replace(self, name=name)
 
 
+@register_config("private")
 def private(num_cores: int, **overrides) -> SystemConfig:
     return SystemConfig(
         name="private", num_cores=num_cores, scheme=PRIVATE, **overrides
     )
 
 
+@register_config("monolithic")
 def monolithic(
     num_cores: int,
     noc: str = MESH,
@@ -124,6 +166,7 @@ def monolithic(
     )
 
 
+@register_config("distributed")
 def distributed(num_cores: int, noc: str = MESH, **overrides) -> SystemConfig:
     """Distributed shared slices over a conventional fabric.
 
@@ -143,6 +186,7 @@ def distributed(num_cores: int, noc: str = MESH, **overrides) -> SystemConfig:
     )
 
 
+@register_config("nocstar")
 def nocstar(
     num_cores: int, config: NocstarConfig = NocstarConfig(), **overrides
 ) -> SystemConfig:
@@ -157,6 +201,7 @@ def nocstar(
     )
 
 
+@register_config("nocstar-ideal")
 def nocstar_ideal(num_cores: int, **overrides) -> SystemConfig:
     return SystemConfig(
         name="nocstar-ideal",
@@ -169,10 +214,35 @@ def nocstar_ideal(num_cores: int, **overrides) -> SystemConfig:
     )
 
 
+@register_config("ideal")
 def ideal(num_cores: int, **overrides) -> SystemConfig:
     return SystemConfig(
         name="ideal", num_cores=num_cores, scheme=IDEAL, **overrides
     )
+
+
+#: Named interconnect variants of the base schemes, registered so the
+#: CLI and benches can build every lineup member from one namespace.
+register_config(
+    "monolithic-smart",
+    lambda num_cores, **overrides: monolithic(num_cores, noc=SMART, **overrides),
+)
+register_config(
+    "distributed-bus",
+    lambda num_cores, **overrides: distributed(num_cores, noc=BUS, **overrides),
+)
+register_config(
+    "distributed-fbfly-wide",
+    lambda num_cores, **overrides: distributed(
+        num_cores, noc=FBFLY_WIDE, **overrides
+    ),
+)
+register_config(
+    "distributed-fbfly-narrow",
+    lambda num_cores, **overrides: distributed(
+        num_cores, noc=FBFLY_NARROW, **overrides
+    ),
+)
 
 
 def paper_lineup(num_cores: int) -> Tuple[SystemConfig, ...]:

@@ -28,6 +28,13 @@ from repro.workloads.trace import Workload
 
 DEFAULT_QUANTUM = 256
 
+#: Version tag of the simulation's observable behaviour.  The result
+#: cache (repro.exec) embeds this in every content address, so stale
+#: entries are invalidated by construction.  Bump it on ANY change that
+#: can alter a RunResult: engine scheduling, system/TLB/walker models,
+#: workload generation, energy accounting.
+ENGINE_VERSION = "1"
+
 
 @dataclass(frozen=True)
 class StormConfig:
@@ -95,13 +102,40 @@ class _CoreState:
 
 def simulate(
     config: cfg.SystemConfig,
-    workload: Workload,
+    workload: Optional[Workload] = None,
     quantum: int = DEFAULT_QUANTUM,
     storm: Optional[StormConfig] = None,
     shootdown: Optional[ShootdownTraffic] = None,
     record_intervals: bool = False,
 ) -> RunResult:
-    """Run ``workload`` on a machine built from ``config``."""
+    """Run ``workload`` on a machine built from ``config``.
+
+    Also accepts a single-config, single-workload
+    :class:`~repro.sim.scenario.Scenario` as the only argument; the
+    scenario's own storm/shootdown/quantum fields then apply.  The
+    ``(config, workload)`` form is the low-level primitive operating on
+    an already-built trace.
+    """
+    if not isinstance(config, cfg.SystemConfig):
+        from repro.sim.scenario import Scenario
+
+        if isinstance(config, Scenario):
+            if workload is not None:
+                raise TypeError(
+                    "pass either a Scenario or (config, workload), not both"
+                )
+            units = config.units()
+            if len(units) != 1:
+                raise ValueError(
+                    "simulate() takes a single-config, single-workload "
+                    "Scenario; use compare()/run_suite() for lineups"
+                )
+            return units[0].execute()
+        raise TypeError(
+            f"expected SystemConfig or Scenario, got {type(config).__name__}"
+        )
+    if workload is None:
+        raise TypeError("simulate(config, workload) needs a workload")
     if workload.num_cores != config.num_cores:
         raise ValueError(
             f"workload has {workload.num_cores} cores, config expects "

@@ -1,20 +1,27 @@
 """High-level run harness: suites, comparisons, speedups.
 
-Everything the benches need: build a workload once, run it through a
-lineup of configurations, and report speedups versus the private-L2
-baseline — the paper's metric throughout §V.
+Everything the benches need: run a workload lineup and report speedups
+versus the private-L2 baseline — the paper's metric throughout §V.
+
+The supported way to call :func:`compare` and :func:`run_suite` is with
+a :class:`~repro.sim.scenario.Scenario`; execution then goes through
+:class:`repro.exec.Runner`, which adds process-pool parallelism
+(``jobs``) and content-addressed result caching (``cache_dir``).  The
+legacy keyword-argument forms still work but are deprecated thin
+wrappers around the same machinery.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Union
 
 from repro.sim import configs as cfg
-from repro.sim.engine import ShootdownTraffic, StormConfig, simulate
+from repro.sim.engine import ShootdownTraffic, StormConfig
 from repro.sim.results import RunResult, geometric_mean
-from repro.workloads.generators import build_multithreaded
-from repro.workloads.registry import WORKLOAD_NAMES, get_workload
+from repro.sim.scenario import Scenario
+from repro.workloads.registry import WORKLOAD_NAMES
 from repro.workloads.trace import Workload
 
 
@@ -49,53 +56,121 @@ class Comparison:
         return 100.0 * (1.0 - shared_misses / private_misses)
 
 
+def _runner(jobs, cache_dir, use_cache, telemetry_path, runner):
+    if runner is not None:
+        return runner
+    from repro.exec.runner import Runner
+
+    return Runner(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        telemetry_path=telemetry_path,
+    )
+
+
 def compare(
-    workload: Workload,
-    configurations: Sequence[cfg.SystemConfig],
+    workload: Union[Scenario, Workload],
+    configurations: Optional[Sequence[cfg.SystemConfig]] = None,
     baseline_name: str = "private",
     storm: Optional[StormConfig] = None,
     shootdown: Optional[ShootdownTraffic] = None,
     record_intervals: bool = False,
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    telemetry_path: Optional[str] = None,
+    runner=None,
 ) -> Comparison:
-    """Run one workload on every configuration."""
-    results = {}
-    for configuration in configurations:
-        results[configuration.name] = simulate(
-            configuration,
-            workload,
-            storm=storm,
-            shootdown=shootdown,
-            record_intervals=record_intervals,
-        )
-    if baseline_name not in results:
-        raise ValueError(f"no baseline {baseline_name!r} in the lineup")
-    return Comparison(workload.name, results, baseline_name)
+    """Run one workload on every configuration of a lineup.
+
+    Pass a single-workload :class:`Scenario` (supported form); the
+    scenario's own baseline/storm/shootdown fields apply and execution
+    goes through :class:`repro.exec.Runner`.  The legacy form taking a
+    built :class:`Workload` plus keyword knobs is deprecated — use a
+    Scenario, or ``Runner.run_prebuilt`` for built traces and
+    multiprogrammed mixes.
+    """
+    run = _runner(jobs, cache_dir, use_cache, telemetry_path, runner)
+    if isinstance(workload, Scenario):
+        if configurations is not None:
+            raise TypeError(
+                "a Scenario already carries its lineup; drop configurations"
+            )
+        return run.run_one(workload)
+    warnings.warn(
+        "compare(workload, configurations, ...) is deprecated; pass a "
+        "Scenario (or use repro.exec.Runner.run_prebuilt for built "
+        "workloads)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if configurations is None:
+        raise TypeError("compare(workload, ...) needs configurations")
+    return run.run_prebuilt(
+        workload,
+        configurations,
+        baseline_name=baseline_name,
+        storm=storm,
+        shootdown=shootdown,
+        record_intervals=record_intervals,
+    )
 
 
 def run_suite(
-    configurations: Sequence[cfg.SystemConfig],
-    num_cores: int,
+    configurations: Union[Scenario, Sequence[cfg.SystemConfig]],
+    num_cores: Optional[int] = None,
     workload_names: Optional[Iterable[str]] = None,
     accesses_per_core: int = 12_000,
     seed: int = 1,
     superpages: bool = True,
     smt: int = 1,
     baseline_name: str = "private",
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    telemetry_path: Optional[str] = None,
+    runner=None,
 ) -> Dict[str, Comparison]:
-    """The paper's standard sweep: every workload through a lineup."""
-    names = list(workload_names or WORKLOAD_NAMES)
-    out = {}
-    for name in names:
-        workload = build_multithreaded(
-            get_workload(name),
-            num_cores,
+    """The paper's standard sweep: every workload through a lineup.
+
+    Pass a :class:`Scenario` (supported form); the legacy keyword form
+    is a deprecated wrapper that builds the equivalent Scenario.
+    ``jobs``/``cache_dir`` select parallel execution and result
+    caching (see :class:`repro.exec.Runner`).
+    """
+    if isinstance(configurations, Scenario):
+        scenario = configurations
+        if num_cores is not None and num_cores != scenario.num_cores:
+            raise ValueError(
+                f"num_cores={num_cores} disagrees with the scenario's "
+                f"lineup ({scenario.num_cores} cores)"
+            )
+    else:
+        warnings.warn(
+            "run_suite(configurations, num_cores, ...) is deprecated; "
+            "pass a Scenario",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        scenario = Scenario(
+            configurations=tuple(configurations),
+            workloads=tuple(workload_names or WORKLOAD_NAMES),
             accesses_per_core=accesses_per_core,
             seed=seed,
             superpages=superpages,
             smt=smt,
+            baseline_name=baseline_name,
         )
-        out[name] = compare(workload, configurations, baseline_name)
-    return out
+        if num_cores is not None and num_cores != scenario.num_cores:
+            raise ValueError(
+                f"num_cores={num_cores} disagrees with the lineup "
+                f"({scenario.num_cores} cores)"
+            )
+    run = _runner(jobs, cache_dir, use_cache, telemetry_path, runner)
+    return run.run(scenario)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,125 @@
+"""Content-addressed result cache: canonicalisation, keys, storage."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.exec.cache import (
+    ResultCache,
+    canonical_json,
+    canonicalize,
+    unit_key,
+    workload_fingerprint,
+)
+from repro.sim import configs as cfg
+from repro.sim.engine import ENGINE_VERSION, StormConfig, simulate
+from repro.sim.scenario import Scenario
+from repro.workloads.generators import build_multithreaded
+from repro.workloads.registry import get_workload
+
+
+def _unit(**overrides):
+    base = dict(
+        configurations=cfg.nocstar(4),
+        workloads="olio",
+        accesses_per_core=500,
+        seed=7,
+    )
+    base.update(overrides)
+    return Scenario(**base).units()[0]
+
+
+def test_scenario_roundtrips_through_canonicaliser():
+    unit = _unit()
+    payload = canonical_json(unit)
+    # stable JSON: parseable, and identical on re-serialisation
+    assert json.loads(payload)["__dataclass__"] == "RunUnit"
+    assert canonical_json(unit) == payload
+    # an equal unit built from the spec object (not the registry name)
+    # canonicalises identically
+    twin = _unit(workloads=get_workload("olio"))
+    assert canonical_json(twin) == payload
+    # and a pickle round-trip changes nothing
+    assert canonical_json(pickle.loads(pickle.dumps(unit))) == payload
+
+
+def test_unit_key_is_content_addressed():
+    assert unit_key(_unit(), ENGINE_VERSION) == unit_key(
+        _unit(), ENGINE_VERSION
+    )
+    baseline = unit_key(_unit(), ENGINE_VERSION)
+    assert unit_key(_unit(seed=8), ENGINE_VERSION) != baseline
+    assert unit_key(_unit(accesses_per_core=501), ENGINE_VERSION) != baseline
+    assert (
+        unit_key(_unit(storm=StormConfig(period=100)), ENGINE_VERSION)
+        != baseline
+    )
+    assert (
+        unit_key(
+            _unit(configurations=cfg.nocstar(4).renamed("x")), ENGINE_VERSION
+        )
+        != baseline
+    )
+
+
+def test_engine_version_participates_in_the_key():
+    unit = _unit()
+    assert unit_key(unit, "1") != unit_key(unit, "2")
+
+
+def test_canonicalize_rejects_uncanonical_values():
+    with pytest.raises(TypeError):
+        canonicalize(lambda: None)
+    with pytest.raises(TypeError):
+        canonicalize(float("nan"))
+    with pytest.raises(TypeError):
+        canonicalize(object())
+
+
+def test_cache_round_trips_run_results(tmp_path):
+    unit = _unit(accesses_per_core=300)
+    result = unit.execute()
+    cache = ResultCache(tmp_path / "cache")
+    key = unit_key(unit, ENGINE_VERSION)
+    assert key not in cache
+    cache.put(key, result)
+    assert key in cache
+    assert len(cache) == 1
+    restored = cache.get(key)
+    assert restored == result
+    assert restored.stats == result.stats
+    assert restored.per_core_cycles == result.per_core_cycles
+
+
+def test_corrupt_entries_read_as_misses(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    unit = _unit(accesses_per_core=200)
+    key = unit_key(unit, ENGINE_VERSION)
+    cache.put(key, unit.execute())
+    with open(cache._path(key), "wb") as fh:
+        fh.write(b"not a pickle")
+    assert cache.get(key) is None
+
+
+def test_clear_removes_everything(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    result = _unit(accesses_per_core=200).execute()
+    cache.put("aa" * 32, result)
+    cache.put("bb" * 32, result)
+    assert cache.clear() == 2
+    assert len(cache) == 0
+
+
+def test_workload_fingerprint_tracks_content():
+    wl_a = build_multithreaded(
+        get_workload("olio"), 2, accesses_per_core=200, seed=1
+    )
+    wl_same = build_multithreaded(
+        get_workload("olio"), 2, accesses_per_core=200, seed=1
+    )
+    wl_other_seed = build_multithreaded(
+        get_workload("olio"), 2, accesses_per_core=200, seed=2
+    )
+    assert workload_fingerprint(wl_a) == workload_fingerprint(wl_same)
+    assert workload_fingerprint(wl_a) != workload_fingerprint(wl_other_seed)

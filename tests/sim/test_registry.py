@@ -1,0 +1,63 @@
+"""The named-configuration registry (@register_config)."""
+
+import pytest
+
+from repro.sim import configs as cfg
+
+
+def test_available_configs_lists_the_lineup():
+    names = cfg.available_configs()
+    assert {
+        "private", "monolithic", "monolithic-smart", "distributed",
+        "nocstar", "nocstar-ideal", "ideal",
+    } <= set(names)
+    assert list(names) == sorted(names)
+
+
+def test_build_config_builds_by_name():
+    config = cfg.build_config("nocstar", 16)
+    assert config.name == "nocstar"
+    assert config.num_cores == 16
+    assert config.entries_per_core == 920
+
+
+def test_build_config_variant_factories():
+    smart = cfg.build_config("monolithic-smart", 16)
+    assert smart.scheme == cfg.MONOLITHIC
+    assert smart.interconnect == cfg.SMART
+    bus = cfg.build_config("distributed-bus", 16)
+    assert bus.interconnect == cfg.BUS
+
+
+def test_build_config_forwards_overrides():
+    config = cfg.build_config("private", 8, translation_overlap=0.2)
+    assert config.translation_overlap == 0.2
+
+
+def test_unknown_name_raises_with_known_list():
+    with pytest.raises(KeyError, match="known:"):
+        cfg.build_config("hyperloop", 16)
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        cfg.register_config("private", lambda n, **kw: cfg.private(n, **kw))
+    # decorator form must reject duplicates too
+    with pytest.raises(ValueError, match="already registered"):
+
+        @cfg.register_config("nocstar")
+        def clashing(num_cores, **overrides):
+            return cfg.nocstar(num_cores, **overrides)
+
+
+def test_registration_roundtrip_and_registry_isolation():
+    name = "test-registry-temp"
+    try:
+        cfg.register_config(
+            name, lambda n, **kw: cfg.private(n, **kw).renamed(name)
+        )
+        assert name in cfg.available_configs()
+        assert cfg.build_config(name, 4).name == name
+    finally:
+        cfg._CONFIG_REGISTRY.pop(name, None)
+    assert name not in cfg.available_configs()

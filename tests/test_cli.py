@@ -42,6 +42,35 @@ def test_run_command_unknown_config():
               "--accesses", "100"])
 
 
+def test_run_command_parallel_no_cache(capsys, tmp_path):
+    code = main(
+        [
+            "run", "--workload", "olio", "--cores", "4",
+            "--accesses", "600", "--configs", "nocstar",
+            "--jobs", "2", "--no-cache",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "nocstar" in out and "speedup" in out
+
+
+def test_run_command_cache_roundtrip(capsys, tmp_path):
+    args = [
+        "run", "--workload", "olio", "--cores", "4",
+        "--accesses", "600", "--configs", "nocstar",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    assert main(args) == 0
+    cold = capsys.readouterr()
+    assert "2 miss(es)" in cold.err
+    assert main(args) == 0
+    warm = capsys.readouterr()
+    assert "2 hit(s)" in warm.err
+    assert warm.out == cold.out  # cached rerun prints the same table
+    assert (tmp_path / "cache" / "telemetry.jsonl").exists()
+
+
 def test_sweep_command_subset(capsys):
     code = main(
         [
