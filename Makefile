@@ -4,8 +4,8 @@ RUN = PYTHONPATH=src $(PYTHON)
 # Content-addressed result cache used by the CLI (see repro.exec).
 CACHE_DIR ?= .repro-cache
 
-.PHONY: install test smoke verify bench bench-full examples calibrate \
-        cache-clean clean
+.PHONY: install test smoke report-smoke verify bench bench-full examples \
+        calibrate cache-clean clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,8 +18,17 @@ test:
 smoke:
 	$(RUN) -m repro run --jobs 2 --no-cache --cores 8 --accesses 2000
 
-# The full local gate: unit/integration tests plus the parallel smoke.
-verify: test smoke
+# Observability smoke: a tiny metrics+trace run rendered through
+# `repro report` (exercises the sink, the obs JSONL, and the renderer).
+report-smoke:
+	$(RUN) -m repro run --workload olio --cores 4 --accesses 800 \
+		--configs nocstar --no-cache --metrics \
+		--trace-out .obs-smoke.jsonl
+	$(RUN) -m repro report .obs-smoke.jsonl --top 4
+	rm -f .obs-smoke.jsonl
+
+# The full local gate: tests plus the parallel and observability smokes.
+verify: test smoke report-smoke
 
 bench:
 	$(RUN) -m pytest benchmarks/ --benchmark-only

@@ -25,6 +25,17 @@ from __future__ import annotations
 
 from repro.exec.cache import ResultCache, canonical_json, unit_key
 from repro.exec.runner import Runner
+from repro.obs import (
+    EVENT_KINDS,
+    EventTrace,
+    MetricsRegistry,
+    MetricsSink,
+    NullSink,
+    NULL_SINK,
+    load_obs_records,
+    render_report,
+    write_obs_jsonl,
+)
 from repro.sim.configs import (
     SystemConfig,
     available_configs,
@@ -93,6 +104,16 @@ __all__ = [
     # pathological traffic
     "StormConfig",
     "ShootdownTraffic",
+    # observability
+    "MetricsRegistry",
+    "MetricsSink",
+    "NullSink",
+    "NULL_SINK",
+    "EventTrace",
+    "EVENT_KINDS",
+    "render_report",
+    "load_obs_records",
+    "write_obs_jsonl",
     # workloads
     "WorkloadSpec",
     "WORKLOADS",

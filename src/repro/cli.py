@@ -10,7 +10,13 @@ Commands:
 * ``traffic``    — cycle-accurate synthetic-traffic sweep (Fig 11c);
 * ``configs``    — show the Table II configuration lineup;
 * ``export-trace`` — write a synthetic workload to a portable ``.npz``
-  trace that ``run --trace`` (or external tools) can consume.
+  trace that ``run --trace`` (or external tools) can consume;
+* ``report``     — render latency percentiles, per-link NoC
+  utilization, and hottest-slice tables from obs/telemetry JSONL files
+  (produce them with ``run``/``sweep`` ``--metrics --trace-out``).
+
+Note on flag names: ``run --trace PATH`` *loads* an ``.npz`` input
+trace; the event-trace *output* flag is therefore ``--trace-out``.
 
 ``run`` and ``sweep`` execute through :class:`repro.exec.Runner`:
 ``--jobs N`` fans independent simulations out over a process pool, and
@@ -28,6 +34,7 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.tables import render_table
 from repro.exec.runner import Runner
+from repro.obs import load_obs_records, render_report, write_obs_jsonl
 from repro.noc.synthetic import run_mesh_traffic, run_nocstar_traffic
 from repro.noc.topology import MeshTopology
 from repro.sim import configs as cfg
@@ -71,17 +78,48 @@ def _report_cache(runner: Runner) -> None:
         )
 
 
+def _obs_flags(args: argparse.Namespace) -> tuple:
+    """(metrics, trace) from the obs options; --trace-out implies both."""
+    trace = bool(args.trace_out)
+    return (args.metrics or trace, trace)
+
+
+def _emit_obs(args: argparse.Namespace, comparisons) -> None:
+    """Write --trace-out and/or print the --metrics report."""
+    metrics, _ = _obs_flags(args)
+    if not metrics:
+        return
+    labelled = [
+        (config_name, comparison.workload_name, result)
+        for comparison in comparisons
+        for config_name, result in comparison.results.items()
+    ]
+    if args.trace_out:
+        lines = write_obs_jsonl(args.trace_out, labelled)
+        print(
+            f"[obs] wrote {lines} record(s) to {args.trace_out}",
+            file=sys.stderr,
+        )
+    from repro.obs.report import event_records_from, run_records_from
+
+    print()
+    print(render_report(run_records_from(labelled),
+                        event_records_from(labelled)))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     names = args.configs.split(",")
     if "private" not in names:
         names = ["private"] + names
     runner = _runner_from(args)
+    metrics, trace = _obs_flags(args)
     if args.trace:
         workload = load_workload(args.trace)
         if workload.num_cores != args.cores:
             args.cores = workload.num_cores
         lineup = runner.run_prebuilt(
-            workload, _build_configs(names, args.cores)
+            workload, _build_configs(names, args.cores),
+            metrics=metrics, trace=trace,
         )
     else:
         scenario = Scenario(
@@ -90,6 +128,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             accesses_per_core=args.accesses,
             seed=args.seed,
             superpages=not args.no_superpages,
+            metrics=metrics,
+            trace=trace,
         )
         lineup = runner.run_one(scenario)
     rows = []
@@ -108,6 +148,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             ["config", "cycles", "speedup", "L2 misses", "walks"], rows
         )
     )
+    _emit_obs(args, [lineup])
     _report_cache(runner)
     return 0
 
@@ -117,6 +158,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         args.workloads.split(",") if args.workloads else list(WORKLOAD_NAMES)
     )
     runner = _runner_from(args)
+    metrics, trace = _obs_flags(args)
     comparisons = runner.run(
         Scenario(
             configurations=cfg.paper_lineup(args.cores),
@@ -124,6 +166,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             accesses_per_core=args.accesses,
             seed=args.seed,
             superpages=not args.no_superpages,
+            metrics=metrics,
+            trace=trace,
         )
     )
     config_names = ["monolithic-mesh", "distributed", "nocstar", "ideal"]
@@ -139,7 +183,29 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         ]
     )
     print(render_table(["workload"] + config_names, rows))
+    _emit_obs(args, [comparisons[name] for name in names])
     _report_cache(runner)
+    return 0
+
+
+def _parse_window(value: str) -> tuple:
+    """Parse ``START:END`` (either side optional) into an int pair."""
+    if ":" not in value:
+        raise SystemExit(f"--window needs START:END (got {value!r})")
+    lo, hi = value.split(":", 1)
+    try:
+        return (int(lo) if lo else None, int(hi) if hi else None)
+    except ValueError:
+        raise SystemExit(f"--window bounds must be integers (got {value!r})")
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    for path in args.paths:
+        if not os.path.exists(path):
+            raise SystemExit(f"no such obs/telemetry file: {path}")
+    runs, events = load_obs_records(args.paths)
+    window = _parse_window(args.window) if args.window else None
+    print(render_report(runs, events, top=args.top, window=window))
     return 0
 
 
@@ -226,6 +292,18 @@ def cmd_configs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_options(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect a metrics snapshot per run and print a report",
+    )
+    sub_parser.add_argument(
+        "--trace-out", default="",
+        help="write runs + event traces to this JSONL file for "
+             "`repro report` (implies --metrics)",
+    )
+
+
 def _add_runner_options(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--jobs", type=int, default=1,
@@ -266,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a saved .npz trace instead of a synthetic workload",
     )
     _add_runner_options(run_p)
+    _add_obs_options(run_p)
     run_p.set_defaults(func=cmd_run)
 
     export_p = sub.add_parser(
@@ -287,6 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--workloads", default="",
                          help="comma-separated subset (default: all)")
     _add_runner_options(sweep_p)
+    _add_obs_options(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 
     wl_p = sub.add_parser("workloads", help="list the workload suite")
@@ -301,6 +381,23 @@ def build_parser() -> argparse.ArgumentParser:
     cfg_p = sub.add_parser("configs", help="show the Table II lineup")
     cfg_p.add_argument("--cores", type=int, default=16)
     cfg_p.set_defaults(func=cmd_configs)
+
+    report_p = sub.add_parser(
+        "report", help="render metrics/events from obs or telemetry JSONL"
+    )
+    report_p.add_argument(
+        "paths", nargs="+",
+        help="obs files (--trace-out) and/or Runner telemetry.jsonl files",
+    )
+    report_p.add_argument(
+        "--top", type=int, default=8,
+        help="rows per heatmap/slice table (default 8)",
+    )
+    report_p.add_argument(
+        "--window", default="",
+        help="only count events with START <= cycle < END, e.g. 0:50000",
+    )
+    report_p.set_defaults(func=cmd_report)
 
     return parser
 

@@ -33,6 +33,7 @@ from typing import Dict, Set, Tuple
 from repro.core.config import NocstarConfig, ONE_WAY, ROUND_TRIP
 from repro.core.link_arbiter import control_fanout
 from repro.noc.topology import Link, MeshTopology
+from repro.obs import NULL_SINK
 
 
 @dataclass(frozen=True)
@@ -57,9 +58,11 @@ class NocstarInterconnect:
         self,
         topology: MeshTopology,
         config: NocstarConfig = NocstarConfig(),
+        sink=NULL_SINK,
     ) -> None:
         self.topology = topology
         self.config = config
+        self.sink = sink
         #: link -> set of cycles during which the link carries data.
         self._occupied: Dict[Link, Set[int]] = {}
         #: link -> cycle from which the link is held (round-trip mode).
@@ -118,6 +121,10 @@ class NocstarInterconnect:
         self.total_setup_retries += retries
         if retries == 0:
             self.uncontended_messages += 1
+        self.sink.event(
+            now, "nocstar_setup",
+            src=src, dst=dst, hops=hops, retries=retries, hold=hold,
+        )
         return NocstarTraversal(
             ready=start + duration,
             hops=hops,
@@ -194,6 +201,14 @@ class NocstarInterconnect:
 
     # ------------------------------------------------------------------
     # Introspection
+
+    def link_busy_cycles(self) -> Dict[Link, int]:
+        """Cycles each link carried data (utilization numerator).
+
+        Round-trip holds still in flight are not counted; every hold is
+        released before a run finishes, converting it into occupancy.
+        """
+        return {link: len(cycles) for link, cycles in self._occupied.items()}
 
     @property
     def mean_setup_retries(self) -> float:

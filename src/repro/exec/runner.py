@@ -48,6 +48,12 @@ from repro.workloads.trace import Workload
 #: Telemetry file dropped next to the cache when none is specified.
 TELEMETRY_BASENAME = "telemetry.jsonl"
 
+#: Version of the telemetry record layout (see DESIGN.md for the field
+#: table).  2: every record carries ``schema`` and ``metrics``, and hit
+#: records time the cache read (key computation + disk fetch) instead
+#: of reporting 0.0.
+TELEMETRY_SCHEMA = 2
+
 
 def _execute_unit(unit: RunUnit) -> Tuple[RunResult, float]:
     """Pool worker body: one deterministic simulation, timed."""
@@ -57,7 +63,10 @@ def _execute_unit(unit: RunUnit) -> Tuple[RunResult, float]:
 
 
 def _execute_prebuilt(args) -> Tuple[RunResult, float]:
-    config, workload, storm, shootdown, record_intervals, quantum = args
+    (
+        config, workload, storm, shootdown, record_intervals, quantum,
+        metrics, trace,
+    ) = args
     start = time.perf_counter()
     result = simulate(
         config,
@@ -66,6 +75,8 @@ def _execute_prebuilt(args) -> Tuple[RunResult, float]:
         storm=storm,
         shootdown=shootdown,
         record_intervals=record_intervals,
+        metrics=metrics,
+        trace=trace,
     )
     return result, time.perf_counter() - start
 
@@ -154,8 +165,10 @@ class Runner:
         pending: List[int] = []
         for i, unit in enumerate(units):
             if self.cache is not None:
-                keys[i] = unit_key(unit, self.engine_version)
+                # Hit wall_s = key computation + cache read, so warm-run
+                # telemetry reflects real lookup cost rather than 0.0.
                 start = time.perf_counter()
+                keys[i] = unit_key(unit, self.engine_version)
                 hit = self.cache.get(keys[i])
                 if hit is not None:
                     results[i] = hit
@@ -196,6 +209,8 @@ class Runner:
         shootdown: Optional[ShootdownTraffic] = None,
         record_intervals: bool = False,
         quantum: int = DEFAULT_QUANTUM,
+        metrics: bool = False,
+        trace: bool = False,
     ) -> Comparison:
         """Run an already-built workload through a lineup.
 
@@ -216,6 +231,7 @@ class Runner:
         )
         for i, config in enumerate(configurations):
             if self.cache is not None:
+                start = time.perf_counter()
                 payload = {
                     "workload_fingerprint": fingerprint,
                     "config": canonicalize(config),
@@ -223,9 +239,10 @@ class Runner:
                     "shootdown": canonicalize(shootdown),
                     "record_intervals": record_intervals,
                     "quantum": quantum,
+                    "metrics": metrics,
+                    "trace": trace,
                 }
                 keys[i] = unit_key(payload, self.engine_version)
-                start = time.perf_counter()
                 hit = self.cache.get(keys[i])
                 if hit is not None:
                     results[i] = hit
@@ -243,7 +260,7 @@ class Runner:
             [
                 (
                     configurations[i], workload, storm, shootdown,
-                    record_intervals, quantum,
+                    record_intervals, quantum, metrics, trace,
                 )
                 for i in pending
             ],
@@ -286,6 +303,7 @@ class Runner:
         if self.telemetry_path is None:
             return
         record = {
+            "schema": TELEMETRY_SCHEMA,
             "key": key,
             "config": config_name,
             "workload": workload_name,
@@ -298,6 +316,7 @@ class Runner:
             "l1_miss_rate": result.stats.l1_miss_rate,
             "l2_miss_rate": result.stats.l2_miss_rate,
             "walks": result.stats.walks,
+            "metrics": getattr(result, "metrics", None),
         }
         directory = os.path.dirname(self.telemetry_path)
         if directory:

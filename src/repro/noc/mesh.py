@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.noc.topology import Link, MeshTopology
+from repro.obs import NULL_SINK
 
 
 @dataclass(frozen=True)
@@ -36,17 +37,47 @@ class ContentionFreeMesh:
         topology: MeshTopology,
         router_cycles: int = 1,
         wire_cycles: int = 1,
+        sink=NULL_SINK,
     ) -> None:
         self.topology = topology
+        self.router_cycles = router_cycles
+        self.wire_cycles = wire_cycles
         self.cycles_per_hop = router_cycles + wire_cycles
         self.messages = 0
         self.total_hops = 0
+        #: link -> messages carried; populated only when observed.
+        self.link_traversals: Dict[Link, int] = {}
+        if sink.enabled:
+            # Construction-time dispatch, not per-send branching: the
+            # unobserved send never pays for XY path computation.
+            self.send = self._send_observed  # type: ignore[method-assign]
 
     def send(self, src: int, dst: int, now: int) -> Traversal:
         hops = self.topology.hops(src, dst)
         self.messages += 1
         self.total_hops += hops
         return Traversal(arrival=now + hops * self.cycles_per_hop, hops=hops)
+
+    def _send_observed(self, src: int, dst: int, now: int) -> Traversal:
+        """send() plus per-link accounting; timing is identical (the XY
+        path length equals the Manhattan hop count)."""
+        path = self.topology.xy_path(src, dst)
+        for link in path:
+            self.link_traversals[link] = self.link_traversals.get(link, 0) + 1
+        self.messages += 1
+        self.total_hops += len(path)
+        return Traversal(
+            arrival=now + len(path) * self.cycles_per_hop,
+            hops=len(path),
+            links=tuple(path),
+        )
+
+    def link_busy_cycles(self) -> Dict[Link, int]:
+        """Cycles each link's wire carried a flit (observed runs only)."""
+        return {
+            link: count * self.wire_cycles
+            for link, count in self.link_traversals.items()
+        }
 
 
 class ContendedMesh:
@@ -69,6 +100,8 @@ class ContendedMesh:
         self._link_free: Dict[Link, int] = {}
         self.messages = 0
         self.total_queue_cycles = 0
+        #: link -> cycles its wire carried flits (utilization numerator).
+        self.link_busy: Dict[Link, int] = {}
 
     def send(self, src: int, dst: int, now: int) -> Traversal:
         path = self.topology.xy_path(src, dst)
@@ -81,9 +114,16 @@ class ContendedMesh:
                 queued += free_at - t
                 t = free_at
             self._link_free[link] = t + self.wire_cycles
+            self.link_busy[link] = (
+                self.link_busy.get(link, 0) + self.wire_cycles
+            )
             t += self.wire_cycles
         self.messages += 1
         self.total_queue_cycles += queued
         return Traversal(
             arrival=t, hops=len(path), queue_cycles=queued, links=tuple(path)
         )
+
+    def link_busy_cycles(self) -> Dict[Link, int]:
+        """Cycles each link's wire carried a flit."""
+        return dict(self.link_busy)

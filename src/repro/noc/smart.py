@@ -17,16 +17,20 @@ from typing import Dict, List, Tuple
 
 from repro.noc.mesh import Traversal
 from repro.noc.topology import Link, MeshTopology
+from repro.obs import NULL_SINK
 
 
 class SmartNetwork:
     """SMART mesh with HPCmax bypass and conflict-induced stops."""
 
-    def __init__(self, topology: MeshTopology, hpc_max: int = 8) -> None:
+    def __init__(
+        self, topology: MeshTopology, hpc_max: int = 8, sink=NULL_SINK
+    ) -> None:
         if hpc_max < 1:
             raise ValueError("HPCmax must be at least 1")
         self.topology = topology
         self.hpc_max = hpc_max
+        self.sink = sink
         #: link -> cycles during which it carries a flit (per-cycle
         #: occupancy; see the reservation note in repro.core.nocstar).
         self._occupied: Dict[Link, set] = {}
@@ -34,6 +38,10 @@ class SmartNetwork:
         self.total_hops = 0
         self.premature_stops = 0
         self.total_queue_cycles = 0
+
+    def link_busy_cycles(self) -> Dict[Link, int]:
+        """Cycles each link carried a flit (utilization numerator)."""
+        return {link: len(cycles) for link, cycles in self._occupied.items()}
 
     def _free(self, link: Link, cycle: int) -> bool:
         occupied = self._occupied.get(link)
@@ -48,6 +56,7 @@ class SmartNetwork:
         # One SSR setup cycle precedes the first data cycle.
         t = now + 1
         queued = 0
+        stops = 0
         index = 0
         while index < len(path):
             segment = path[index : index + self.hpc_max]
@@ -68,9 +77,14 @@ class SmartNetwork:
             index += advanced
             if advanced < len(segment):
                 # Premature stop: latched at an intermediate router.
-                self.premature_stops += 1
+                stops += 1
                 t += 1  # router traversal + re-arbitration
+        self.premature_stops += stops
         self.total_queue_cycles += queued
+        self.sink.event(
+            now, "smart_setup",
+            src=src, dst=dst, hops=len(path), stops=stops, queued=queued,
+        )
         return Traversal(
             arrival=t, hops=len(path), queue_cycles=queued, links=tuple(path)
         )

@@ -1,0 +1,259 @@
+"""Metrics primitives: counters, gauges, and latency histograms.
+
+Everything here is *pure observation*: metric values are derived from
+simulation-cycle timestamps and event counts only — never the wall
+clock — so two runs of the same seed produce byte-identical snapshots
+whether they execute serially, in a worker pool, or are replayed from
+the result cache.
+
+The subsystem hangs off a *sink* object rather than ``if enabled``
+branches: instrumented components hold a reference to a sink (the
+module-level :data:`NULL_SINK` by default) and call it unconditionally.
+When observability is off, every call is a no-op method on
+:class:`NullSink`; the L1-hit fast path of the engine carries no sink
+call at all, so the disabled cost is one no-op invocation per (rare)
+L1 miss.  See DESIGN.md, "Observability".
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+#: Power-of-two latency buckets, 1 .. 128Ki cycles (values above the
+#: last bound land in an unbounded overflow bucket, serialised ``None``).
+DEFAULT_LATENCY_BUCKETS: Tuple[int, ...] = tuple(2 ** i for i in range(18))
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (occupancy, utilization, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class StreamingQuantile:
+    """Deterministic bounded-memory quantile sketch.
+
+    Systematic (stride) sampling: every ``stride``-th observation is
+    retained in arrival order; when the reservoir fills, it is decimated
+    by keeping every other retained sample and the stride doubles.  For
+    streams shorter than ``max_samples`` the estimate is exact; longer
+    streams degrade gracefully with no randomness anywhere, so the same
+    observation sequence always yields the same percentile values.
+    """
+
+    def __init__(self, max_samples: int = 2048) -> None:
+        if max_samples < 2:
+            raise ValueError("need at least two samples for a quantile")
+        self.max_samples = max_samples
+        self.count = 0
+        self._stride = 1
+        self._samples: List[float] = []
+
+    def add(self, value) -> None:
+        if self.count % self._stride == 0:
+            if len(self._samples) >= self.max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+                if self.count % self._stride == 0:
+                    self._samples.append(value)
+            else:
+                self._samples.append(value)
+        self.count += 1
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Linear-interpolated quantile ``q`` in [0, 1]; None when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        position = q * (len(ordered) - 1)
+        lo = int(position)
+        hi = min(lo + 1, len(ordered) - 1)
+        fraction = position - lo
+        return ordered[lo] * (1.0 - fraction) + ordered[hi] * fraction
+
+    @property
+    def retained(self) -> int:
+        return len(self._samples)
+
+
+class Histogram:
+    """Fixed-bucket histogram plus a streaming-quantile sketch.
+
+    The buckets give the full distribution shape cheaply; the sketch
+    gives accurate p50/p95/p99 without storing the stream.  Both are
+    fed from the same :meth:`observe` call.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max", "quantiles")
+
+    def __init__(
+        self,
+        buckets: Tuple[int, ...] = DEFAULT_LATENCY_BUCKETS,
+        quantile_samples: int = 2048,
+    ) -> None:
+        if not buckets:
+            raise ValueError("need at least one bucket bound")
+        self.bounds = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.bounds) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.quantiles = StreamingQuantile(quantile_samples)
+
+    def observe(self, value) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.quantiles.add(value)
+
+    def percentile(self, q: float) -> Optional[float]:
+        return self.quantiles.percentile(q)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serialisable state; bucket bound ``None`` = overflow."""
+        bounds: List[Optional[int]] = list(self.bounds) + [None]
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": [
+                [bound, count]
+                for bound, count in zip(bounds, self.counts)
+                if count
+            ],
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one simulation run.
+
+    Metrics are created on first use and snapshotted into a plain
+    sorted dict — deterministic, picklable, JSON-serialisable — which is
+    what :class:`~repro.sim.results.RunResult` carries and the Runner's
+    telemetry embeds.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(
+        self, name: str, buckets: Tuple[int, ...] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(buckets)
+        return metric
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            },
+        }
+
+
+class NullSink:
+    """The disabled observability sink: every method is a no-op.
+
+    Components keep a reference to a sink and call it unconditionally —
+    this class is what makes that free when observability is off, with
+    no ``if enabled`` checks strewn through hot paths.  ``enabled`` lets
+    construction-time code (never per-event code) choose an observed
+    variant, e.g. a network that only computes per-link accounting when
+    someone is watching.
+    """
+
+    enabled = False
+    registry: Optional[MetricsRegistry] = None
+    trace = None  # Optional[EventTrace]; typed loosely to avoid a cycle
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+
+    def gauge(self, name: str, value) -> None:
+        """Set gauge ``name`` to ``value``."""
+
+    def observe(self, name: str, value) -> None:
+        """Record ``value`` into histogram ``name``."""
+
+    def event(self, cycle: int, kind: str, **fields) -> None:
+        """Emit a typed trace event at simulation cycle ``cycle``."""
+
+
+#: Module-level no-op sink shared by every uninstrumented component.
+NULL_SINK = NullSink()
+
+
+class MetricsSink(NullSink):
+    """The live sink: fans writes into a registry and optional trace."""
+
+    enabled = True
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None, trace=None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace = trace
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.registry.counter(name).inc(n)
+
+    def gauge(self, name: str, value) -> None:
+        self.registry.gauge(name).set(value)
+
+    def observe(self, name: str, value) -> None:
+        self.registry.histogram(name).observe(value)
+
+    def event(self, cycle: int, kind: str, **fields) -> None:
+        if self.trace is not None:
+            self.trace.emit(cycle, kind, **fields)

@@ -1,0 +1,124 @@
+"""Structured event tracing: a ring buffer of typed simulation events.
+
+Events are small dicts with a simulation-cycle timestamp and a kind
+drawn from the closed :data:`EVENT_KINDS` vocabulary (an unknown kind
+is a programming error and raises immediately).  The buffer is a ring:
+the trace of a long run keeps the *last* ``capacity`` events and counts
+what it dropped, so tracing never grows without bound and never slows
+down as a run gets longer.
+
+Determinism: events carry only simulation-derived values, and emission
+order is the engine's deterministic processing order, so the exported
+JSONL of a run is byte-identical across serial, parallel, and
+cache-replayed executions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional
+
+#: The closed vocabulary of trace event kinds.
+#:
+#: ``l1_lookup``      L1 TLB probe (emitted on the miss path only; hits
+#:                    stay on the engine fast path and are aggregated as
+#:                    counters instead)
+#: ``l2_lookup``      shared-slice / private-L2 probe, with home slice
+#: ``nocstar_setup``  NOCSTAR circuit setup, with retry count
+#: ``smart_setup``    SMART multi-hop setup, with premature stops
+#: ``walk_begin``     page-table walk issued at a core's walker
+#: ``walk_end``       the walk's completion, with its latency
+#: ``shootdown``      one TLB-shootdown remapping event
+#: ``storm_flush``    TLB-storm context-switch flush + promotion burst
+EVENT_KINDS = (
+    "l1_lookup",
+    "l2_lookup",
+    "nocstar_setup",
+    "smart_setup",
+    "walk_begin",
+    "walk_end",
+    "shootdown",
+    "storm_flush",
+)
+_KIND_SET = frozenset(EVENT_KINDS)
+
+DEFAULT_CAPACITY = 65536
+
+
+class EventTrace:
+    """Ring-buffered trace of typed events."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        self.capacity = capacity
+        self._events: List[Dict[str, object]] = []
+        self.emitted = 0  # total emit() calls, including overwritten ones
+        self.dropped = 0  # events overwritten by newer ones
+
+    def emit(self, cycle: int, kind: str, **fields) -> None:
+        """Record one event at simulation cycle ``cycle``."""
+        if kind not in _KIND_SET:
+            raise ValueError(
+                f"unknown event kind {kind!r}; known: {', '.join(EVENT_KINDS)}"
+            )
+        event: Dict[str, object] = {"cycle": cycle, "kind": kind}
+        event.update(fields)
+        if len(self._events) < self.capacity:
+            self._events.append(event)
+        else:
+            self._events[self.emitted % self.capacity] = event
+            self.dropped += 1
+        self.emitted += 1
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def to_records(self) -> List[Dict[str, object]]:
+        """Events oldest-to-newest as plain dicts (copies)."""
+        if len(self._events) < self.capacity:
+            ordered = self._events
+        else:
+            head = self.emitted % self.capacity
+            ordered = self._events[head:] + self._events[:head]
+        return [dict(event) for event in ordered]
+
+    def window(
+        self, start: Optional[int] = None, end: Optional[int] = None
+    ) -> List[Dict[str, object]]:
+        """Events with ``start <= cycle < end`` (either bound optional)."""
+        return filter_window(self.to_records(), start, end)
+
+    def export_jsonl(self, path: str) -> int:
+        """Write the buffered events as JSONL; returns the line count."""
+        records = self.to_records()
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as fh:
+            for record in records:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(records)
+
+    @staticmethod
+    def load_jsonl(path: str) -> List[Dict[str, object]]:
+        with open(path) as fh:
+            return [json.loads(line) for line in fh if line.strip()]
+
+
+def filter_window(
+    events: Iterable[Dict[str, object]],
+    start: Optional[int] = None,
+    end: Optional[int] = None,
+) -> List[Dict[str, object]]:
+    """Time-window filter over event records (``start`` <= cycle < ``end``)."""
+    out = []
+    for event in events:
+        cycle = event.get("cycle", 0)
+        if start is not None and cycle < start:
+            continue
+        if end is not None and cycle >= end:
+            continue
+        out.append(event)
+    return out

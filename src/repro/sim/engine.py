@@ -20,6 +20,7 @@ import heapq
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.obs import NULL_SINK, EventTrace, MetricsSink
 from repro.sim import configs as cfg
 from repro.sim.results import RunResult
 from repro.sim.system import System
@@ -32,7 +33,10 @@ DEFAULT_QUANTUM = 256
 #: cache (repro.exec) embeds this in every content address, so stale
 #: entries are invalidated by construction.  Bump it on ANY change that
 #: can alter a RunResult: engine scheduling, system/TLB/walker models,
-#: workload generation, energy accounting.
+#: workload generation, energy accounting.  Observability (the metrics
+#: sink / event trace) is pure: it records sim-cycle timestamps that
+#: the model already computed and never feeds back into timing, so
+#: enabling or extending it does NOT bump this version.
 ENGINE_VERSION = "1"
 
 
@@ -107,6 +111,8 @@ def simulate(
     storm: Optional[StormConfig] = None,
     shootdown: Optional[ShootdownTraffic] = None,
     record_intervals: bool = False,
+    metrics: bool = False,
+    trace: bool = False,
 ) -> RunResult:
     """Run ``workload`` on a machine built from ``config``.
 
@@ -115,8 +121,15 @@ def simulate(
     scenario's own storm/shootdown/quantum fields then apply.  The
     ``(config, workload)`` form is the low-level primitive operating on
     an already-built trace.
+
+    ``metrics`` attaches a :class:`~repro.obs.MetricsSink` and returns
+    a snapshot in ``RunResult.metrics``; ``trace`` (implies metrics)
+    additionally ring-buffers typed events into ``RunResult.trace``.
+    Both are pure observation — timing is identical either way.
     """
     if not isinstance(config, cfg.SystemConfig):
+        from dataclasses import replace
+
         from repro.sim.scenario import Scenario
 
         if isinstance(config, Scenario):
@@ -130,7 +143,14 @@ def simulate(
                     "simulate() takes a single-config, single-workload "
                     "Scenario; use compare()/run_suite() for lineups"
                 )
-            return units[0].execute()
+            unit = units[0]
+            if metrics or trace:
+                unit = replace(
+                    unit,
+                    metrics=unit.metrics or metrics,
+                    trace=unit.trace or trace,
+                )
+            return unit.execute()
         raise TypeError(
             f"expected SystemConfig or Scenario, got {type(config).__name__}"
         )
@@ -141,7 +161,9 @@ def simulate(
             f"workload has {workload.num_cores} cores, config expects "
             f"{config.num_cores}"
         )
-    system = System(config, record_intervals=record_intervals)
+    event_trace = EventTrace() if trace else None
+    sink = MetricsSink(trace=event_trace) if (metrics or trace) else NULL_SINK
+    system = System(config, record_intervals=record_intervals, sink=sink)
     states = [_CoreState(workload.core_streams(c)) for c in range(config.num_cores)]
     heap: List[Tuple[int, int]] = [(0, core) for core in range(config.num_cores)]
     heapq.heapify(heap)
@@ -184,7 +206,11 @@ def simulate(
             array = arrays[size]
             if array.lookup(asid, size, page_number):
                 continue
+            # Instrumentation rides the (rare) miss path only; the
+            # L1-hit loop above stays sink-free.
+            sink.event(t, "l1_lookup", core=core, hit=False)
             stall = system.l2_transaction(core, asid, size, page_number, t)
+            sink.observe("translation.stall_cycles", stall)
             t += stall
             array.insert(asid, size, page_number)
             heapq.heappush(heap, (t, core))
@@ -196,6 +222,7 @@ def simulate(
     finishes = [state.finish or 0 for state in states]
     cycles = max(finishes)
     system.finalize_stats()
+    system.finalize_metrics(cycles)
     app_cycles = {}
     for app, cores in workload.info.get("apps", {}).items():
         app_cycles[app] = sum(finishes[c] for c in cores) / len(cores)
@@ -210,6 +237,8 @@ def simulate(
         walk_levels=system.walk_level_summary(),
         intervals=system.intervals if record_intervals else None,
         app_cycles=app_cycles,
+        metrics=sink.registry.snapshot() if sink.enabled else None,
+        trace=event_trace.to_records() if event_trace is not None else None,
     )
 
 
@@ -219,6 +248,10 @@ def _apply_storm(
     """Context-switch flush plus a 512-entry promotion invalidation."""
     if storm.flush:
         system.flush_all_tlbs()
+    system.sink.event(
+        now, "storm_flush",
+        seq=seq, entries=storm.burst_entries, flush=storm.flush,
+    )
     base = (seq + 1) * storm.burst_entries
     entries = [
         (storm.asid, PAGE_4K, base + i) for i in range(storm.burst_entries)

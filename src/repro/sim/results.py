@@ -28,6 +28,12 @@ class RunResult:
     intervals: Optional[List[Tuple[int, int, int]]] = None
     #: app name -> mean finish cycles of its cores (multiprogrammed runs).
     app_cycles: Dict[str, float] = field(default_factory=dict)
+    #: MetricsRegistry snapshot (counters/gauges/histograms) when the
+    #: run was observed; None for unobserved runs.
+    metrics: Optional[Dict[str, object]] = None
+    #: Ring-buffered typed event records (oldest -> newest) when event
+    #: tracing was on; None otherwise.
+    trace: Optional[List[Dict[str, object]]] = None
 
     @property
     def total_energy_pj(self) -> float:
@@ -50,7 +56,7 @@ class RunResult:
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serialisable summary (for external result pipelines)."""
-        return {
+        out = {
             "config": self.config_name,
             "workload": self.workload_name,
             "cycles": self.cycles,
@@ -61,6 +67,11 @@ class RunResult:
             "walk_levels": dict(self.walk_levels),
             "app_cycles": dict(self.app_cycles),
         }
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
+        if self.trace is not None:
+            out["trace"] = self.trace
+        return out
 
 
 def geometric_mean(values: List[float]) -> float:

@@ -70,6 +70,12 @@ class RunUnit:
     shootdown: Optional[ShootdownTraffic] = None
     record_intervals: bool = False
     quantum: int = DEFAULT_QUANTUM
+    #: Observability flags (appended last: positional compatibility).
+    #: Pure observation — they change what a RunResult *carries*, not
+    #: what it measures — but they are cache-key fields so observed and
+    #: unobserved results never alias in the result cache.
+    metrics: bool = False
+    trace: bool = False
 
     def build_workload(self) -> Workload:
         return _build_workload(
@@ -92,6 +98,8 @@ class RunUnit:
             storm=self.storm,
             shootdown=self.shootdown,
             record_intervals=self.record_intervals,
+            metrics=self.metrics,
+            trace=self.trace,
         )
 
 
@@ -144,6 +152,9 @@ class Scenario:
     shootdown: Optional[ShootdownTraffic] = None
     record_intervals: bool = False
     quantum: int = DEFAULT_QUANTUM
+    #: Observability flags, mirrored onto every RunUnit.
+    metrics: bool = False
+    trace: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -189,6 +200,8 @@ class Scenario:
             shootdown=self.shootdown,
             record_intervals=self.record_intervals,
             quantum=self.quantum,
+            metrics=self.metrics,
+            trace=self.trace,
         )
 
     def units(self) -> Tuple[RunUnit, ...]:

@@ -32,6 +32,7 @@ from repro.noc.fbfly import FlattenedButterfly
 from repro.noc.mesh import ContentionFreeMesh
 from repro.noc.smart import SmartNetwork
 from repro.noc.topology import MeshTopology
+from repro.obs import NULL_SINK
 from repro.sim import configs as cfg
 from repro.tlb.l1 import L1Tlb, L1TlbConfig
 from repro.tlb.l2_private import L2TlbConfig, PrivateL2Tlb
@@ -64,6 +65,7 @@ class System:
         config: cfg.SystemConfig,
         record_intervals: bool = False,
         timeline: Optional[List[Tuple[str, int, int]]] = None,
+        sink=NULL_SINK,
     ) -> None:
         self.config = config
         n = config.num_cores
@@ -75,6 +77,7 @@ class System:
         self.record_intervals = record_intervals
         self.intervals: List[Tuple[int, int, int]] = []
         self.timeline = timeline
+        self.sink = sink
         self.stats = TlbStats()
 
         # --- L2 organisation -------------------------------------------
@@ -98,9 +101,11 @@ class System:
             else:
                 self.l2_lookup_cycles = self.shared_l2.lookup_cycles
             if config.interconnect == cfg.MESH:
-                self.network = ContentionFreeMesh(self.topology)
+                self.network = ContentionFreeMesh(self.topology, sink=sink)
             elif config.interconnect == cfg.SMART:
-                self.network = SmartNetwork(self.topology, config.smart_hpc)
+                self.network = SmartNetwork(
+                    self.topology, config.smart_hpc, sink=sink
+                )
         else:  # distributed / nocstar / ideal
             self.shared_l2 = DistributedSharedTlb(
                 n, config.entries_per_core, config.l2_ways,
@@ -117,19 +122,23 @@ class System:
                         self.topology, narrow=True
                     )
                 else:
-                    self.network = ContentionFreeMesh(self.topology)
+                    self.network = ContentionFreeMesh(self.topology, sink=sink)
             elif scheme == cfg.NOCSTAR:
                 self.network = NocstarInterconnect(
-                    self.topology, config.nocstar
+                    self.topology, config.nocstar, sink=sink
                 )
 
         # --- Walkers ------------------------------------------------------
         self.page_table = PageTable()
         if config.ptw_fixed is not None:
-            self.walker = FixedLatencyWalker(self.page_table, config.ptw_fixed)
+            self.walker = FixedLatencyWalker(
+                self.page_table, config.ptw_fixed, sink=sink
+            )
         else:
             self.caches = CacheHierarchy(n)
-            self.walker = PageTableWalker(self.page_table, self.caches, n)
+            self.walker = PageTableWalker(
+                self.page_table, self.caches, n, sink=sink
+            )
         self.walker_queues = [WalkerQueue() for _ in range(n)]
 
         if config.qos_way_quota is not None and self.shared_l2 is not None:
@@ -171,7 +180,9 @@ class System:
     ) -> int:
         l2 = self.private_l2[core]
         lookup_done = now + self.l2_lookup_cycles
-        if l2.lookup_page_number(asid, size, page_number):
+        hit = l2.lookup_page_number(asid, size, page_number)
+        self.sink.event(lookup_done, "l2_lookup", core=core, slice=core, hit=hit)
+        if hit:
             self.stats.l2_hits += 1
             return self._charge(self.l2_lookup_cycles, 0)
         self.stats.l2_misses += 1
@@ -227,6 +238,7 @@ class System:
             self.timeline.append(("slice-lookup", start, lookup_done))
 
         hit = shared.lookup_page_number(asid, size, page_number, home)
+        self.sink.event(lookup_done, "l2_lookup", core=core, slice=home, hit=hit)
         walk_cycles = 0
         if hit:
             self.stats.l2_hits += 1
@@ -353,6 +365,9 @@ class System:
         is where leader policy and slice-port congestion matter.
         """
         n = self.config.num_cores
+        self.sink.event(
+            now, "shootdown", initiator=initiator, entries=len(entries)
+        )
         for core in range(n):
             for asid, size, page_number in entries:
                 self.l1s[core].invalidate(asid, size, page_number)
@@ -456,6 +471,68 @@ class System:
         """Fold structure counters into the run-level stats."""
         self.stats.l1_hits = sum(l1.hits for l1 in self.l1s)
         self.stats.l1_misses = sum(l1.misses for l1 in self.l1s)
+
+    def finalize_metrics(self, cycles: int) -> None:
+        """Publish end-of-run gauges/counters into the metrics sink.
+
+        Called once after :meth:`finalize_stats`; a no-op sink makes
+        this free.  Everything here is *derived* from simulation state,
+        so publishing it can never perturb timing.
+        """
+        sink = self.sink
+        if not sink.enabled:
+            return
+        sink.gauge("run.cycles", cycles)
+        sink.count("tlb.l1.hits", self.stats.l1_hits)
+        sink.count("tlb.l1.misses", self.stats.l1_misses)
+        sink.count("tlb.l2.hits", self.stats.l2_hits)
+        sink.count("tlb.l2.misses", self.stats.l2_misses)
+        sink.count("walk.count", self.stats.walks)
+        sink.count("tlb.prefetches", self.stats.prefetches)
+        sink.count("shootdown.messages", self.stats.shootdown_messages)
+        if self.shared_l2 is not None:
+            slices = self.shared_l2.shards
+        else:
+            slices = [l2.array for l2 in self.private_l2]
+        for i, arr in enumerate(slices):
+            sink.gauge(f"tlb.slice.{i}.hits", arr.hits)
+            sink.gauge(f"tlb.slice.{i}.misses", arr.misses)
+            sink.gauge(f"tlb.slice.{i}.occupancy", arr.occupancy)
+            sink.gauge(f"tlb.slice.{i}.evictions", arr.evictions)
+        sink.count(
+            "walk.queued", sum(q.queued_walks for q in self.walker_queues)
+        )
+        sink.count(
+            "walk.queue_cycles",
+            sum(q.total_queue_cycles for q in self.walker_queues),
+        )
+        network = self.network
+        if network is not None:
+            for name in (
+                "messages",
+                "total_hops",
+                "total_setup_retries",
+                "premature_stops",
+                "total_queue_cycles",
+                "control_requests",
+                "uncontended_messages",
+                "local_messages",
+            ):
+                value = getattr(network, name, None)
+                if value is not None:
+                    sink.count(f"noc.{name}", value)
+            busy_fn = getattr(network, "link_busy_cycles", None)
+            if busy_fn is not None:
+                for (src, dst), busy in busy_fn().items():
+                    sink.gauge(f"noc.link.{src}>{dst}.busy_cycles", busy)
+                    sink.gauge(
+                        f"noc.link.{src}>{dst}.util",
+                        busy / cycles if cycles else 0.0,
+                    )
+        trace = sink.trace
+        if trace is not None:
+            sink.gauge("trace.emitted", trace.emitted)
+            sink.gauge("trace.dropped", trace.dropped)
 
     def energy_summary(self, cycles: int) -> Dict[str, float]:
         model = EnergyModel(static_power_mw=self.static_power_mw())

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
@@ -36,14 +36,25 @@ class TlbStats:
         return self.l2_misses / self.l2_accesses if self.l2_accesses else 0.0
 
     def merge(self, other: "TlbStats") -> None:
-        self.l1_hits += other.l1_hits
-        self.l1_misses += other.l1_misses
-        self.l2_hits += other.l2_hits
-        self.l2_misses += other.l2_misses
-        self.walks += other.walks
-        self.prefetches += other.prefetches
-        self.shootdown_messages += other.shootdown_messages
-        self.flushes += other.flushes
+        """Fold ``other``'s counters into this one.
+
+        Iterates ``dataclasses.fields`` so a newly added counter can
+        never be silently dropped from aggregation: numeric fields add,
+        dict-valued fields add per key, anything else is rejected.
+        """
+        for f in fields(self):
+            mine = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if isinstance(mine, dict):
+                for key, value in theirs.items():
+                    mine[key] = mine.get(key, 0) + value
+            elif isinstance(mine, (int, float)):
+                setattr(self, f.name, mine + theirs)
+            else:
+                raise TypeError(
+                    f"TlbStats.merge cannot aggregate field {f.name!r} "
+                    f"of type {type(mine).__name__}"
+                )
 
     def as_dict(self) -> Dict[str, float]:
         return {

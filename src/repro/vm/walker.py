@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.mem.cache import CacheHierarchy
+from repro.obs import NULL_SINK
 from repro.vm.page_table import PageTable, PTE
 
 
@@ -71,11 +72,13 @@ class PageTableWalker:
         hierarchy: CacheHierarchy,
         num_cores: int,
         pwc_entries: int = 16,
+        sink=NULL_SINK,
     ) -> None:
         self.page_table = page_table
         self.hierarchy = hierarchy
         self.pwcs = [_PageWalkCache(pwc_entries) for _ in range(num_cores)]
         self.walks = 0
+        self.sink = sink
         self.level_hits: Dict[str, int] = {
             "pwc": 0, "l1": 0, "l2": 0, "llc": 0, "dram": 0,
         }
@@ -107,6 +110,9 @@ class PageTableWalker:
                 pwc.fill(addr)
         self.walks += 1
         pte = self.page_table.lookup(asid, vpn, page_size)
+        self.sink.observe("walk.latency", latency)
+        self.sink.event(now, "walk_begin", core=core, vpn=vpn)
+        self.sink.event(now + latency, "walk_end", core=core, latency=latency)
         return WalkResult(
             latency=latency, pte=pte, levels=tuple(levels), pollution=pollution
         )
@@ -115,18 +121,24 @@ class PageTableWalker:
 class FixedLatencyWalker:
     """Walker with a fixed latency (Table III's fixed-10/20/40/80)."""
 
-    def __init__(self, page_table: PageTable, latency: int) -> None:
+    def __init__(self, page_table: PageTable, latency: int, sink=NULL_SINK) -> None:
         if latency <= 0:
             raise ValueError("walk latency must be positive")
         self.page_table = page_table
         self.latency = latency
         self.walks = 0
+        self.sink = sink
 
     def walk(
         self, core: int, asid: int, vpn: int, page_size: int, now: int
     ) -> WalkResult:
         self.walks += 1
         pte = self.page_table.lookup(asid, vpn, page_size)
+        self.sink.observe("walk.latency", self.latency)
+        self.sink.event(now, "walk_begin", core=core, vpn=vpn)
+        self.sink.event(
+            now + self.latency, "walk_end", core=core, latency=self.latency
+        )
         return WalkResult(latency=self.latency, pte=pte, levels=("fixed",))
 
 

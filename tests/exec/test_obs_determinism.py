@@ -1,0 +1,121 @@
+"""Determinism of observed runs across execution strategies.
+
+ISSUE satellite: serial (jobs=1), parallel (jobs=4), and cache-replayed
+executions of the same scenario must produce byte-identical metric
+snapshots and trace exports.
+"""
+
+import json
+
+from repro.exec.runner import TELEMETRY_SCHEMA, Runner
+from repro.obs import write_obs_jsonl
+from repro.sim import configs as cfg
+from repro.sim.scenario import Scenario
+
+
+def _scenario(trace=True):
+    return Scenario(
+        configurations=(cfg.private(4), cfg.nocstar(4)),
+        workloads=("gups", "olio"),
+        accesses_per_core=400,
+        seed=7,
+        metrics=True,
+        trace=trace,
+    )
+
+
+def _canonical(comparisons):
+    """Byte-stable rendering of every run's snapshot and trace."""
+    blob = {}
+    for workload, comparison in sorted(comparisons.items()):
+        for config, result in sorted(comparison.results.items()):
+            blob[f"{config}/{workload}"] = {
+                "metrics": result.metrics,
+                "trace": result.trace,
+            }
+    return json.dumps(blob, sort_keys=True)
+
+
+def test_serial_parallel_and_replay_are_byte_identical(tmp_path):
+    scenario = _scenario()
+    serial = Runner(jobs=1, cache_dir=None).run(scenario)
+    parallel = Runner(jobs=4, cache_dir=None).run(scenario)
+    assert _canonical(serial) == _canonical(parallel)
+
+    cache_dir = str(tmp_path / "cache")
+    cold_runner = Runner(jobs=1, cache_dir=cache_dir)
+    cold = cold_runner.run(scenario)
+    assert cold_runner.stats == {"hits": 0, "misses": 4}
+    warm_runner = Runner(jobs=1, cache_dir=cache_dir)
+    warm = warm_runner.run(scenario)
+    assert warm_runner.stats == {"hits": 4, "misses": 0}
+    assert _canonical(serial) == _canonical(cold) == _canonical(warm)
+
+
+def test_trace_export_is_byte_identical_across_strategies(tmp_path):
+    scenario = _scenario()
+    paths = []
+    for name, jobs in (("serial", 1), ("parallel", 3)):
+        comparisons = Runner(jobs=jobs, cache_dir=None).run(scenario)
+        labelled = [
+            (config, workload, result)
+            for workload, comparison in comparisons.items()
+            for config, result in comparison.results.items()
+        ]
+        path = tmp_path / f"{name}.jsonl"
+        write_obs_jsonl(str(path), labelled)
+        paths.append(path)
+    assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+def test_observed_and_plain_units_do_not_alias_in_cache(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    plain = Scenario(
+        configurations=cfg.nocstar(4),
+        workloads="gups",
+        accesses_per_core=300,
+        seed=7,
+        baseline_name="nocstar",
+    )
+    runner = Runner(jobs=1, cache_dir=cache_dir)
+    runner.run(plain)
+    assert runner.stats["misses"] == 1
+    observed = Scenario(
+        configurations=cfg.nocstar(4),
+        workloads="gups",
+        accesses_per_core=300,
+        seed=7,
+        baseline_name="nocstar",
+        metrics=True,
+    )
+    runner2 = Runner(jobs=1, cache_dir=cache_dir)
+    comparisons = runner2.run(observed)
+    # Different cache key: the observed unit must re-simulate, and the
+    # replayed result must actually carry its snapshot.
+    assert runner2.stats == {"hits": 0, "misses": 1}
+    result = comparisons["gups"].results["nocstar"]
+    assert result.metrics is not None
+
+
+def test_telemetry_embeds_schema_and_metrics(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    scenario = Scenario(
+        configurations=cfg.nocstar(4),
+        workloads="gups",
+        accesses_per_core=300,
+        seed=7,
+        baseline_name="nocstar",
+        metrics=True,
+    )
+    Runner(jobs=1, cache_dir=cache_dir).run(scenario)
+    Runner(jobs=1, cache_dir=cache_dir).run(scenario)  # warm: a hit record
+    telemetry = (tmp_path / "cache" / "telemetry.jsonl").read_text()
+    records = [json.loads(line) for line in telemetry.splitlines()]
+    assert len(records) == 2
+    miss, hit = records
+    assert miss["cache"] == "miss" and hit["cache"] == "hit"
+    for record in records:
+        assert record["schema"] == TELEMETRY_SCHEMA
+        assert record["metrics"]["histograms"]["translation.stall_cycles"]
+        # Hit records time the cache read; never the 0.0 of schema 1.
+        assert record["wall_s"] > 0.0

@@ -1,0 +1,125 @@
+"""Metrics primitives: counters, gauges, histograms, sinks."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSink,
+    NullSink,
+    NULL_SINK,
+    StreamingQuantile,
+)
+
+
+def test_counter_and_gauge():
+    c = Counter()
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    g = Gauge()
+    g.set(3.5)
+    assert g.value == 3.5
+
+
+def test_streaming_quantile_exact_for_short_streams():
+    q = StreamingQuantile(max_samples=128)
+    for value in range(101):
+        q.add(value)
+    assert q.percentile(0.0) == 0
+    assert q.percentile(0.5) == 50
+    assert q.percentile(1.0) == 100
+    assert q.percentile(0.95) == pytest.approx(95.0)
+
+
+def test_streaming_quantile_empty_and_bounds():
+    q = StreamingQuantile()
+    assert q.percentile(0.5) is None
+    with pytest.raises(ValueError):
+        q.percentile(1.5)
+
+
+def test_streaming_quantile_bounded_memory_and_deterministic():
+    a = StreamingQuantile(max_samples=64)
+    b = StreamingQuantile(max_samples=64)
+    for value in range(10_000):
+        a.add(value)
+        b.add(value)
+    assert a.retained <= 64
+    assert a.count == 10_000
+    # Same stream -> identical estimates (no randomness anywhere).
+    for q in (0.5, 0.95, 0.99):
+        assert a.percentile(q) == b.percentile(q)
+    # The stride-sampled estimate stays in the right ballpark.
+    assert 3_000 < a.percentile(0.5) < 7_000
+
+
+def test_histogram_buckets_and_overflow():
+    h = Histogram(buckets=(1, 2, 4, 8))
+    for value in (1, 2, 3, 100):
+        h.observe(value)
+    snap = h.snapshot()
+    assert snap["count"] == 4
+    assert snap["sum"] == 106
+    assert snap["min"] == 1
+    assert snap["max"] == 100
+    bounds = [bound for bound, _ in snap["buckets"]]
+    assert None in bounds  # the overflow bucket got the 100
+    assert snap["p50"] is not None
+
+
+def test_histogram_default_buckets_are_powers_of_two():
+    assert DEFAULT_LATENCY_BUCKETS[0] == 1
+    assert all(
+        b == 2 * a
+        for a, b in zip(DEFAULT_LATENCY_BUCKETS, DEFAULT_LATENCY_BUCKETS[1:])
+    )
+
+
+def test_registry_get_or_create_and_snapshot_sorted():
+    reg = MetricsRegistry()
+    reg.counter("b").inc()
+    reg.counter("a").inc(2)
+    reg.gauge("g").set(7)
+    reg.histogram("h").observe(3)
+    assert reg.counter("a") is reg.counter("a")
+    snap = reg.snapshot()
+    assert list(snap["counters"]) == ["a", "b"]
+    assert snap["counters"]["a"] == 2
+    assert snap["gauges"]["g"] == 7
+    assert snap["histograms"]["h"]["count"] == 1
+    json.dumps(snap)  # snapshot must be JSON-serialisable
+
+
+def test_null_sink_is_free_and_disabled():
+    assert NULL_SINK.enabled is False
+    assert NULL_SINK.registry is None
+    assert NULL_SINK.trace is None
+    # All writes are silent no-ops.
+    NULL_SINK.count("x")
+    NULL_SINK.gauge("x", 1)
+    NULL_SINK.observe("x", 1)
+    NULL_SINK.event(0, "not-even-validated")
+
+
+def test_metrics_sink_fans_into_registry():
+    sink = MetricsSink()
+    assert sink.enabled is True
+    sink.count("c", 3)
+    sink.gauge("g", 2.0)
+    sink.observe("h", 9)
+    snap = sink.registry.snapshot()
+    assert snap["counters"]["c"] == 3
+    assert snap["gauges"]["g"] == 2.0
+    assert snap["histograms"]["h"]["count"] == 1
+
+
+def test_metrics_sink_is_a_null_sink_subtype():
+    # Components type against the NullSink interface; the live sink
+    # must be substitutable.
+    assert isinstance(MetricsSink(), NullSink)

@@ -1,0 +1,77 @@
+"""The report renderer and obs JSONL loader."""
+
+from repro.obs import load_obs_records, render_report, write_obs_jsonl
+from repro.sim import configs as cfg
+from repro.sim.engine import simulate
+from repro.workloads.generators import build_multithreaded
+from repro.workloads.registry import get_workload
+
+
+def _observed_result(config_name="nocstar", cores=4, accesses=500):
+    workload = build_multithreaded(
+        get_workload("gups"), cores, accesses_per_core=accesses, seed=3
+    )
+    config = cfg.build_config(config_name, cores)
+    return simulate(config, workload, metrics=True, trace=True)
+
+
+def test_report_renders_required_sections():
+    result = _observed_result()
+    labelled = [("nocstar", "gups", result)]
+    from repro.obs.report import event_records_from, run_records_from
+
+    text = render_report(
+        run_records_from(labelled), event_records_from(labelled)
+    )
+    assert "translation latency" in text
+    assert "p50" in text and "p95" in text and "p99" in text
+    assert "NoC link utilization" in text
+    assert "hottest L2 slices" in text
+    assert "page-walk latency" in text
+    assert "events" in text
+    assert "nocstar/gups" in text
+
+
+def test_report_window_restricts_events():
+    result = _observed_result()
+    labelled = [("nocstar", "gups", result)]
+    from repro.obs.report import event_records_from, run_records_from
+
+    runs = run_records_from(labelled)
+    events = event_records_from(labelled)
+    narrow = render_report(runs, events, window=(0, 1))
+    wide = render_report(runs, events)
+    assert narrow != wide
+
+
+def test_empty_report_has_placeholder():
+    text = render_report([], [])
+    assert "no metric snapshots or events" in text
+
+
+def test_obs_jsonl_round_trip(tmp_path):
+    result = _observed_result()
+    path = str(tmp_path / "obs.jsonl")
+    lines = write_obs_jsonl(path, [("nocstar", "gups", result)])
+    assert lines == 1 + len(result.trace)
+    runs, events = load_obs_records([path])
+    assert len(runs) == 1
+    assert runs[0]["config"] == "nocstar"
+    assert runs[0]["metrics"] == result.metrics
+    assert len(events) == len(result.trace)
+
+
+def test_loader_accepts_runner_telemetry_shape(tmp_path):
+    # A telemetry record has no "type" field, but carries cycles +
+    # metrics — the loader must classify it as a run record.
+    import json
+
+    path = tmp_path / "telemetry.jsonl"
+    record = {
+        "schema": 2, "config": "nocstar", "workload": "gups",
+        "cache": "miss", "cycles": 123, "metrics": {"counters": {}},
+    }
+    path.write_text(json.dumps(record) + "\n\n")
+    runs, events = load_obs_records([str(path)])
+    assert len(runs) == 1 and not events
+    assert runs[0]["cycles"] == 123

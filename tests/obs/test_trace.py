@@ -1,0 +1,58 @@
+"""EventTrace: ring buffer, window filtering, JSONL round trip."""
+
+import pytest
+
+from repro.obs import EVENT_KINDS, EventTrace, filter_window
+
+
+def test_unknown_kind_rejected():
+    trace = EventTrace()
+    with pytest.raises(ValueError, match="unknown event kind"):
+        trace.emit(0, "made_up_kind")
+
+
+def test_emit_and_order():
+    trace = EventTrace(capacity=16)
+    trace.emit(5, "walk_begin", core=1)
+    trace.emit(9, "walk_end", core=1, latency=4)
+    records = trace.to_records()
+    assert [r["kind"] for r in records] == ["walk_begin", "walk_end"]
+    assert records[0]["cycle"] == 5 and records[1]["latency"] == 4
+    assert len(trace) == 2 and trace.emitted == 2 and trace.dropped == 0
+
+
+def test_ring_keeps_newest_and_counts_drops():
+    trace = EventTrace(capacity=4)
+    for i in range(10):
+        trace.emit(i, "l1_lookup", core=0)
+    assert trace.emitted == 10
+    assert trace.dropped == 6
+    cycles = [r["cycle"] for r in trace.to_records()]
+    assert cycles == [6, 7, 8, 9]  # oldest -> newest, last capacity kept
+
+
+def test_window_filtering():
+    trace = EventTrace()
+    for i in range(10):
+        trace.emit(i, "l2_lookup", core=0, slice=0, hit=True)
+    assert [r["cycle"] for r in trace.window(3, 6)] == [3, 4, 5]
+    assert [r["cycle"] for r in trace.window(start=8)] == [8, 9]
+    assert [r["cycle"] for r in trace.window(end=2)] == [0, 1]
+    assert filter_window(trace.to_records(), 9, None)[0]["cycle"] == 9
+
+
+def test_jsonl_round_trip(tmp_path):
+    trace = EventTrace()
+    trace.emit(1, "shootdown", initiator=3, entries=2)
+    trace.emit(2, "storm_flush", seq=0, entries=512, flush=True)
+    path = str(tmp_path / "trace.jsonl")
+    assert trace.export_jsonl(path) == 2
+    loaded = EventTrace.load_jsonl(path)
+    assert loaded == trace.to_records()
+
+
+def test_event_kinds_is_a_closed_vocabulary():
+    trace = EventTrace()
+    for kind in EVENT_KINDS:
+        trace.emit(0, kind)
+    assert len(trace) == len(EVENT_KINDS)

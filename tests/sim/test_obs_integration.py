@@ -1,0 +1,132 @@
+"""End-to-end observability: instrumentation wired through the engine.
+
+The overhead contract (ISSUE satellite): a metrics-disabled run must be
+*identical* to the seed path — same RunResult fields, ``metrics`` and
+``trace`` None — and an observed run must not perturb timing.
+"""
+
+from repro.sim import configs as cfg
+from repro.sim.engine import ShootdownTraffic, StormConfig, simulate
+from repro.sim.scenario import Scenario
+from repro.workloads.generators import build_multithreaded
+from repro.workloads.registry import get_workload
+
+
+def _workload(cores=4, accesses=600, seed=3, name="gups"):
+    return build_multithreaded(
+        get_workload(name), cores, accesses_per_core=accesses, seed=seed
+    )
+
+
+def test_disabled_run_carries_no_observability():
+    result = simulate(cfg.nocstar(4), _workload())
+    assert result.metrics is None
+    assert result.trace is None
+
+
+def test_observation_does_not_change_the_simulation():
+    workload = _workload()
+    for config in (cfg.nocstar(4), cfg.private(4), cfg.monolithic(4)):
+        plain = simulate(config, workload)
+        observed = simulate(config, workload, metrics=True, trace=True)
+        assert observed.cycles == plain.cycles
+        assert observed.per_core_cycles == plain.per_core_cycles
+        assert observed.stats.as_dict() == plain.stats.as_dict()
+        assert observed.energy == plain.energy
+        assert observed.network == plain.network
+
+
+def test_snapshot_agrees_with_run_stats():
+    result = simulate(cfg.nocstar(4), _workload(), metrics=True, trace=True)
+    snap = result.metrics
+    counters, gauges = snap["counters"], snap["gauges"]
+    histograms = snap["histograms"]
+    # One translation-stall observation per L1 miss.
+    assert (
+        histograms["translation.stall_cycles"]["count"]
+        == result.stats.l1_misses
+    )
+    # Per-slice hit/miss gauges sum to the run totals.
+    slice_hits = sum(
+        value for name, value in gauges.items()
+        if name.startswith("tlb.slice.") and name.endswith(".hits")
+    )
+    slice_misses = sum(
+        value for name, value in gauges.items()
+        if name.startswith("tlb.slice.") and name.endswith(".misses")
+    )
+    assert slice_hits == result.stats.l2_hits
+    assert slice_misses == result.stats.l2_misses
+    assert counters["tlb.l1.misses"] == result.stats.l1_misses
+    # Walk histogram: one observation per walk (incl. prefetch walks).
+    assert (
+        histograms["walk.latency"]["count"]
+        == result.stats.walks + result.stats.prefetches
+    )
+    assert gauges["run.cycles"] == result.cycles
+    # NOCSTAR setup counters surfaced under the noc.* namespace.
+    assert counters["noc.messages"] == result.network["messages"]
+    # Per-link utilization gauges exist and stay in [0, 1].
+    utils = [v for k, v in gauges.items() if k.endswith(".util")]
+    assert utils and all(0.0 <= u <= 1.0 for u in utils)
+    assert gauges["trace.emitted"] == len(result.trace)
+    assert gauges["trace.dropped"] == 0
+
+
+def test_trace_has_expected_event_kinds():
+    result = simulate(cfg.nocstar(4), _workload(), metrics=True, trace=True)
+    kinds = {event["kind"] for event in result.trace}
+    assert {"l1_lookup", "l2_lookup", "nocstar_setup",
+            "walk_begin", "walk_end"} <= kinds
+    smart = simulate(
+        cfg.monolithic(4, noc=cfg.SMART),
+        _workload(),
+        metrics=True,
+        trace=True,
+    )
+    assert "smart_setup" in {event["kind"] for event in smart.trace}
+
+
+def test_storm_and_shootdown_events_traced():
+    result = simulate(
+        cfg.nocstar(4),
+        _workload(),
+        storm=StormConfig(period=4_000, burst_entries=32),
+        shootdown=ShootdownTraffic(period=3_000),
+        metrics=True,
+        trace=True,
+    )
+    kinds = {event["kind"] for event in result.trace}
+    assert "storm_flush" in kinds
+    assert "shootdown" in kinds
+
+
+def test_scenario_flags_flow_to_results():
+    scenario = Scenario(
+        configurations=cfg.nocstar(4),
+        workloads="gups",
+        accesses_per_core=400,
+        seed=3,
+        baseline_name="nocstar",
+        metrics=True,
+        trace=True,
+    )
+    result = simulate(scenario)
+    assert result.metrics is not None
+    assert result.trace
+    d = result.as_dict()
+    assert d["metrics"] == result.metrics
+    assert d["trace"] == result.trace
+
+
+def test_simulate_scenario_accepts_obs_overrides():
+    scenario = Scenario(
+        configurations=cfg.nocstar(4),
+        workloads="gups",
+        accesses_per_core=400,
+        seed=3,
+        baseline_name="nocstar",
+    )
+    result = simulate(scenario, metrics=True)
+    assert result.metrics is not None
+    assert result.trace is None

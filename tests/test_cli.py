@@ -107,3 +107,66 @@ def test_export_and_run_trace(tmp_path, capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "nocstar" in out
+
+
+def test_run_command_metrics_and_trace_out(tmp_path, capsys):
+    obs = tmp_path / "obs.jsonl"
+    code = main(
+        [
+            "run", "--workload", "olio", "--cores", "4",
+            "--accesses", "600", "--configs", "nocstar",
+            "--no-cache", "--metrics", "--trace-out", str(obs),
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert obs.exists()
+    assert "translation latency" in captured.out
+    assert "NoC link utilization" in captured.out
+    assert "hottest L2 slices" in captured.out
+    # The written obs file feeds the report command directly.
+    code = main(["report", str(obs), "--top", "4"])
+    assert code == 0
+    report = capsys.readouterr().out
+    assert "p99" in report
+    assert "nocstar/olio" in report
+    assert "events" in report
+
+
+def test_report_command_window(tmp_path, capsys):
+    obs = tmp_path / "obs.jsonl"
+    assert main(
+        [
+            "run", "--workload", "olio", "--cores", "4",
+            "--accesses", "600", "--configs", "nocstar",
+            "--no-cache", "--trace-out", str(obs),
+        ]
+    ) == 0
+    capsys.readouterr()
+    assert main(["report", str(obs), "--window", "0:50"]) == 0
+    out = capsys.readouterr().out
+    assert "window 0..50" in out
+
+
+def test_report_command_missing_file():
+    with pytest.raises(SystemExit, match="no such obs"):
+        main(["report", "/nonexistent/obs.jsonl"])
+
+
+def test_report_command_bad_window(tmp_path):
+    obs = tmp_path / "obs.jsonl"
+    obs.write_text("")
+    with pytest.raises(SystemExit, match="--window"):
+        main(["report", str(obs), "--window", "banana"])
+
+
+def test_run_command_metrics_off_prints_no_report(capsys):
+    code = main(
+        [
+            "run", "--workload", "olio", "--cores", "4",
+            "--accesses", "600", "--configs", "nocstar", "--no-cache",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "translation latency" not in out

@@ -32,3 +32,46 @@ def test_as_dict_round_trip():
     d = stats.as_dict()
     assert d["l1_miss_rate"] == 0.5
     assert d["walks"] == 1
+
+
+def test_merge_covers_every_dataclass_field():
+    # merge() iterates dataclasses.fields, so a newly added counter can
+    # never be silently dropped: setting EVERY field to a distinct
+    # value and merging must double all of them.
+    import dataclasses
+
+    values = {
+        f.name: i + 1 for i, f in enumerate(dataclasses.fields(TlbStats))
+    }
+    a = TlbStats(**values)
+    a.merge(TlbStats(**values))
+    for name, value in values.items():
+        assert getattr(a, name) == 2 * value, f"field {name} not merged"
+
+
+def test_merge_handles_dict_valued_fields():
+    import dataclasses
+
+    @dataclasses.dataclass
+    class ExtendedStats(TlbStats):
+        per_level: dict = dataclasses.field(default_factory=dict)
+
+    a = ExtendedStats(l1_hits=1, per_level={"l1": 2, "llc": 1})
+    b = ExtendedStats(l1_hits=2, per_level={"l1": 3, "dram": 4})
+    a.merge(b)
+    assert a.l1_hits == 3
+    assert a.per_level == {"l1": 5, "llc": 1, "dram": 4}
+
+
+def test_merge_rejects_unaggregatable_fields():
+    import dataclasses
+
+    import pytest
+
+    @dataclasses.dataclass
+    class BadStats(TlbStats):
+        label: str = "x"
+
+    a = BadStats()
+    with pytest.raises(TypeError, match="cannot aggregate"):
+        a.merge(BadStats())
