@@ -4,8 +4,8 @@ RUN = PYTHONPATH=src $(PYTHON)
 # Content-addressed result cache used by the CLI (see repro.exec).
 CACHE_DIR ?= .repro-cache
 
-.PHONY: install test smoke report-smoke verify bench bench-full examples \
-        calibrate cache-clean clean
+.PHONY: install test smoke report-smoke faults-smoke verify bench \
+        bench-full bench-faults examples calibrate cache-clean clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -27,14 +27,28 @@ report-smoke:
 	$(RUN) -m repro report .obs-smoke.jsonl --top 4
 	rm -f .obs-smoke.jsonl
 
-# The full local gate: tests plus the parallel and observability smokes.
-verify: test smoke report-smoke
+# Fault-injection smoke: a tiny degradation sweep rendered through
+# `repro report` (exercises the faults subsystem, the resilience
+# fallbacks, and the fault counters end-to-end).
+faults-smoke:
+	$(RUN) -m repro faults --workload olio --cores 8 --accesses 1000 \
+		--rates 0,0.1 --no-cache --metrics \
+		--trace-out .faults-smoke.jsonl
+	$(RUN) -m repro report .faults-smoke.jsonl --top 4
+	rm -f .faults-smoke.jsonl
+
+# The full local gate: tests plus the parallel, observability, and
+# fault-injection smokes.
+verify: test smoke report-smoke faults-smoke
 
 bench:
 	$(RUN) -m pytest benchmarks/ --benchmark-only
 
 bench-full:
 	REPRO_BENCH_FULL=1 $(RUN) -m pytest benchmarks/ --benchmark-only
+
+bench-faults:
+	$(RUN) benchmarks/bench_faults.py
 
 examples:
 	for script in examples/*.py; do \

@@ -1,0 +1,128 @@
+"""Fault-injection degradation bench: speedup vs fault rate.
+
+Standalone script (not a pytest bench): runs the ``repro.faults``
+degradation sweep on the NOCSTAR configuration, prints the curve, and
+writes the machine-readable ``BENCH_faults.json`` artefact under
+``benchmarks/results/`` (override with argv[1]).
+
+    PYTHONPATH=src python benchmarks/bench_faults.py [out.json]
+
+Scale knobs follow the bench suite: ``REPRO_BENCH_FULL=1`` runs the
+paper-scale sweep, ``REPRO_BENCH_JOBS``/``REPRO_BENCH_CACHE`` select
+parallelism and result caching.  The script asserts the two properties
+the fault subsystem guarantees by construction — the rate-0 point is
+exactly the fault-free run, and cycles degrade monotonically with the
+(nested-sampled) fault rate — so it doubles as a coarse regression
+gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from _common import FULL_SCALE, runner
+from repro.analysis.tables import render_table
+from repro.faults.models import ArbiterDrop, FaultSpec, LinkFailure
+from repro.sim import configs as cfg
+from repro.sim.scenario import Scenario
+
+CORES = 16 if FULL_SCALE else 8
+ACCESSES = 12_000 if FULL_SCALE else 3_000
+WORKLOAD = "graph500"
+SEED = 11
+RATES = (0.0, 0.02, 0.05, 0.1, 0.2) if FULL_SCALE else (0.0, 0.05, 0.15)
+#: Arbiter drop probability per setup attempt = rate * this factor.
+DROP_FACTOR = 0.5
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def sweep():
+    config = cfg.nocstar(CORES)
+    run = runner()
+    points = []
+    for rate in RATES:
+        faults = None
+        if rate > 0.0:
+            faults = FaultSpec(
+                links=LinkFailure(rate=rate),
+                arbiter=ArbiterDrop(probability=min(1.0, rate * DROP_FACTOR)),
+            )
+        scenario = Scenario(
+            configurations=config,
+            workloads=WORKLOAD,
+            accesses_per_core=ACCESSES,
+            seed=SEED,
+            baseline_name=config.name,
+            faults=faults,
+        )
+        result = run.run_one(scenario).results[config.name]
+        points.append(
+            {
+                "rate": rate,
+                "cycles": result.cycles,
+                "faults": result.faults or {},
+            }
+        )
+    baseline = points[0]["cycles"]
+    for point in points:
+        point["speedup"] = baseline / point["cycles"]
+    return points
+
+
+def main(argv) -> int:
+    points = sweep()
+    rows = [
+        [
+            f"{p['rate']:g}",
+            p["cycles"],
+            p["speedup"],
+            p["faults"].get("arbiter_drops", 0),
+            p["faults"].get("fallback_messages", 0),
+            p["faults"].get("degraded_walks", 0),
+        ]
+        for p in points
+    ]
+    print(
+        render_table(
+            ["fault rate", "cycles", "speedup", "drops", "fallbacks",
+             "degraded"],
+            rows,
+            precision=3,
+        )
+    )
+
+    assert points[0]["rate"] == 0.0 and points[0]["faults"] == {}, (
+        "rate-0 point must be the fault-free run"
+    )
+    cycles = [p["cycles"] for p in points]
+    assert cycles == sorted(cycles), (
+        f"degradation must be monotone in the fault rate, got {cycles}"
+    )
+
+    out = argv[1] if len(argv) > 1 else os.path.join(
+        RESULTS_DIR, "BENCH_faults.json"
+    )
+    payload = {
+        "config": "nocstar",
+        "workload": WORKLOAD,
+        "cores": CORES,
+        "accesses_per_core": ACCESSES,
+        "seed": SEED,
+        "drop_factor": DROP_FACTOR,
+        "points": points,
+    }
+    directory = os.path.dirname(out)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

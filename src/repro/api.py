@@ -25,6 +25,17 @@ from __future__ import annotations
 
 from repro.exec.cache import ResultCache, canonical_json, unit_key
 from repro.exec.runner import Runner
+from repro.faults import (
+    ArbiterDrop,
+    FaultAwareRouter,
+    FaultPlan,
+    FaultSpec,
+    LinkFailure,
+    SliceFailure,
+    UnreachableError,
+    WalkerSlowdown,
+    derive_seed,
+)
 from repro.obs import (
     EVENT_KINDS,
     EventTrace,
@@ -104,6 +115,16 @@ __all__ = [
     # pathological traffic
     "StormConfig",
     "ShootdownTraffic",
+    # fault injection & resilience
+    "FaultSpec",
+    "FaultPlan",
+    "LinkFailure",
+    "ArbiterDrop",
+    "SliceFailure",
+    "WalkerSlowdown",
+    "FaultAwareRouter",
+    "UnreachableError",
+    "derive_seed",
     # observability
     "MetricsRegistry",
     "MetricsSink",

@@ -13,7 +13,11 @@ Commands:
   trace that ``run --trace`` (or external tools) can consume;
 * ``report``     — render latency percentiles, per-link NoC
   utilization, and hottest-slice tables from obs/telemetry JSONL files
-  (produce them with ``run``/``sweep`` ``--metrics --trace-out``).
+  (produce them with ``run``/``sweep`` ``--metrics --trace-out``);
+* ``faults``     — fault-injection degradation sweep: simulate one
+  configuration under increasing fault rates (failed links, transient
+  arbiter drops, dead slices) and print the speedup-vs-fault-rate
+  curve with drop/fallback/degradation counters.
 
 Note on flag names: ``run --trace PATH`` *loads* an ``.npz`` input
 trace; the event-trace *output* flag is therefore ``--trace-out``.
@@ -34,6 +38,13 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.tables import render_table
 from repro.exec.runner import Runner
+from repro.faults.models import (
+    ArbiterDrop,
+    FaultSpec,
+    LinkFailure,
+    SliceFailure,
+    WalkerSlowdown,
+)
 from repro.obs import load_obs_records, render_report, write_obs_jsonl
 from repro.noc.synthetic import run_mesh_traffic, run_nocstar_traffic
 from repro.noc.topology import MeshTopology
@@ -107,13 +118,57 @@ def _emit_obs(args: argparse.Namespace, comparisons) -> None:
                         event_records_from(labelled)))
 
 
+def _faults_from(args: argparse.Namespace) -> Optional[FaultSpec]:
+    """A FaultSpec from the --fault-* flags, or None when all are off."""
+    rate = getattr(args, "fault_rate", 0.0)
+    drop = getattr(args, "fault_drop_prob", 0.0)
+    if rate <= 0.0 and drop <= 0.0:
+        return None
+    return FaultSpec(
+        links=LinkFailure(rate=rate), arbiter=ArbiterDrop(probability=drop)
+    )
+
+
+def _print_fault_summaries(comparisons) -> None:
+    """Per-config degradation counters, printed only for faulty runs."""
+    rows = []
+    for comparison in comparisons:
+        for name, summary in comparison.fault_summaries().items():
+            rows.append(
+                [
+                    f"{name}/{comparison.workload_name}",
+                    summary.get("arbiter_drops", 0),
+                    summary.get("shootdown_retries", 0),
+                    summary.get("fallback_messages", 0),
+                    summary.get("fallback_hops", 0),
+                    summary.get("degraded_walks", 0),
+                ]
+            )
+    if rows:
+        print()
+        print(
+            render_table(
+                ["run", "drops", "sd retries", "fallbacks", "fb hops",
+                 "degraded"],
+                rows,
+                title="== fault summary ==",
+            )
+        )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     names = args.configs.split(",")
     if "private" not in names:
         names = ["private"] + names
     runner = _runner_from(args)
     metrics, trace = _obs_flags(args)
+    faults = _faults_from(args)
     if args.trace:
+        if faults is not None:
+            raise SystemExit(
+                "--fault-rate/--fault-drop-prob need a synthetic workload; "
+                "they are not supported with --trace inputs"
+            )
         workload = load_workload(args.trace)
         if workload.num_cores != args.cores:
             args.cores = workload.num_cores
@@ -130,6 +185,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             superpages=not args.no_superpages,
             metrics=metrics,
             trace=trace,
+            faults=faults,
         )
         lineup = runner.run_one(scenario)
     rows = []
@@ -148,6 +204,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             ["config", "cycles", "speedup", "L2 misses", "walks"], rows
         )
     )
+    _print_fault_summaries([lineup])
     _emit_obs(args, [lineup])
     _report_cache(runner)
     return 0
@@ -168,6 +225,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             superpages=not args.no_superpages,
             metrics=metrics,
             trace=trace,
+            faults=_faults_from(args),
         )
     )
     config_names = ["monolithic-mesh", "distributed", "nocstar", "ideal"]
@@ -183,6 +241,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         ]
     )
     print(render_table(["workload"] + config_names, rows))
+    _print_fault_summaries([comparisons[name] for name in names])
     _emit_obs(args, [comparisons[name] for name in names])
     _report_cache(runner)
     return 0
@@ -200,12 +259,133 @@ def _parse_window(value: str) -> tuple:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    for path in args.paths:
-        if not os.path.exists(path):
-            raise SystemExit(f"no such obs/telemetry file: {path}")
+    # Absent files are warned about and skipped by load_obs_records —
+    # a sweep whose trace step failed should not kill the report of
+    # the files that do exist.
     runs, events = load_obs_records(args.paths)
     window = _parse_window(args.window) if args.window else None
     print(render_report(runs, events, top=args.top, window=window))
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Degradation sweep: one config, increasing fault rates."""
+    import json
+
+    try:
+        rates = sorted(
+            {float(token) for token in args.rates.split(",") if token.strip()}
+        )
+    except ValueError:
+        raise SystemExit(f"--rates must be comma-separated floats "
+                         f"(got {args.rates!r})")
+    if not rates:
+        raise SystemExit("--rates needs at least one value")
+    if any(not 0.0 <= rate <= 1.0 for rate in rates):
+        raise SystemExit("fault rates must be in [0, 1]")
+    if rates[0] != 0.0:
+        rates.insert(0, 0.0)  # the fault-free anchor of the curve
+    config = _build_configs([args.config], args.cores)[0]
+    runner = _runner_from(args)
+    metrics, trace = _obs_flags(args)
+
+    rows = []
+    points = []
+    labelled = []
+    baseline_cycles = None
+    cache_totals = {"hits": 0, "misses": 0}
+    for rate in rates:
+        faults = None
+        if rate > 0.0:
+            faults = FaultSpec(
+                links=LinkFailure(rate=rate),
+                arbiter=ArbiterDrop(
+                    probability=min(1.0, rate * args.drop_factor)
+                ),
+                slices=SliceFailure(rate=rate * args.slice_factor),
+                walker=WalkerSlowdown(factor=1.0 + rate * args.walker_factor),
+            )
+        scenario = Scenario(
+            configurations=config,
+            workloads=args.workload,
+            accesses_per_core=args.accesses,
+            seed=args.seed,
+            superpages=not args.no_superpages,
+            baseline_name=config.name,
+            metrics=metrics,
+            trace=trace,
+            faults=faults,
+        )
+        result = runner.run_one(scenario).results[config.name]
+        # Runner.stats resets per run_one(); total them over the sweep.
+        cache_totals["hits"] += runner.stats["hits"]
+        cache_totals["misses"] += runner.stats["misses"]
+        if baseline_cycles is None:
+            baseline_cycles = result.cycles  # rate 0 runs first
+        speedup = baseline_cycles / result.cycles if result.cycles else 0.0
+        summary = result.faults or {}
+        rows.append(
+            [
+                f"{rate:g}",
+                result.cycles,
+                speedup,
+                summary.get("arbiter_drops", 0),
+                summary.get("fallback_messages", 0),
+                summary.get("fallback_hops", 0),
+                summary.get("degraded_walks", 0),
+            ]
+        )
+        points.append(
+            {
+                "rate": rate,
+                "cycles": result.cycles,
+                "speedup": speedup,
+                "faults": summary,
+            }
+        )
+        labelled.append((f"{config.name}@{rate:g}", args.workload, result))
+    print(
+        render_table(
+            ["fault rate", "cycles", "speedup", "drops", "fallbacks",
+             "fb hops", "degraded"],
+            rows,
+            precision=3,
+        )
+    )
+    if args.out:
+        payload = {
+            "config": config.name,
+            "workload": args.workload,
+            "cores": args.cores,
+            "seed": args.seed,
+            "accesses_per_core": args.accesses,
+            "drop_factor": args.drop_factor,
+            "slice_factor": args.slice_factor,
+            "walker_factor": args.walker_factor,
+            "points": points,
+        }
+        directory = os.path.dirname(args.out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[faults] wrote {len(points)} point(s) to {args.out}",
+              file=sys.stderr)
+    if metrics:
+        from repro.obs.report import event_records_from, run_records_from
+
+        if args.trace_out:
+            lines = write_obs_jsonl(args.trace_out, labelled)
+            print(
+                f"[obs] wrote {lines} record(s) to {args.trace_out}",
+                file=sys.stderr,
+            )
+        print()
+        print(render_report(run_records_from(labelled),
+                            event_records_from(labelled)))
+    runner.stats = cache_totals
+    _report_cache(runner)
     return 0
 
 
@@ -304,6 +484,18 @@ def _add_obs_options(sub_parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_options(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="fail this fraction of directed mesh links (default 0)",
+    )
+    sub_parser.add_argument(
+        "--fault-drop-prob", type=float, default=0.0,
+        help="transient arbiter drop probability per setup attempt "
+             "(default 0)",
+    )
+
+
 def _add_runner_options(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument(
         "--jobs", type=int, default=1,
@@ -343,6 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default="",
         help="run a saved .npz trace instead of a synthetic workload",
     )
+    _add_fault_options(run_p)
     _add_runner_options(run_p)
     _add_obs_options(run_p)
     run_p.set_defaults(func=cmd_run)
@@ -365,9 +558,48 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--no-superpages", action="store_true")
     sweep_p.add_argument("--workloads", default="",
                          help="comma-separated subset (default: all)")
+    _add_fault_options(sweep_p)
     _add_runner_options(sweep_p)
     _add_obs_options(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
+
+    faults_p = sub.add_parser(
+        "faults", help="fault-injection degradation sweep"
+    )
+    faults_p.add_argument("--workload", default="graph500")
+    faults_p.add_argument("--cores", type=int, default=16)
+    faults_p.add_argument("--accesses", type=int, default=6_000)
+    faults_p.add_argument("--seed", type=int, default=1)
+    faults_p.add_argument("--no-superpages", action="store_true")
+    faults_p.add_argument(
+        "--config", default="nocstar",
+        help="configuration to degrade (default nocstar)",
+    )
+    faults_p.add_argument(
+        "--rates", default="0,0.02,0.05,0.1",
+        help="comma-separated link-failure rates; 0 is always included "
+             "as the fault-free anchor (default 0,0.02,0.05,0.1)",
+    )
+    faults_p.add_argument(
+        "--drop-factor", type=float, default=0.5,
+        help="arbiter drop probability = rate * this factor (default 0.5)",
+    )
+    faults_p.add_argument(
+        "--slice-factor", type=float, default=0.0,
+        help="slice failure rate = rate * this factor (default 0: "
+             "links and arbiters only)",
+    )
+    faults_p.add_argument(
+        "--walker-factor", type=float, default=0.0,
+        help="walker slowdown = 1 + rate * this factor (default 0)",
+    )
+    faults_p.add_argument(
+        "--out", default="",
+        help="also write the degradation curve to this JSON file",
+    )
+    _add_runner_options(faults_p)
+    _add_obs_options(faults_p)
+    faults_p.set_defaults(func=cmd_faults)
 
     wl_p = sub.add_parser("workloads", help="list the workload suite")
     wl_p.set_defaults(func=cmd_workloads)

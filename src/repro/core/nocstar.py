@@ -32,6 +32,11 @@ from typing import Dict, Set, Tuple
 
 from repro.core.config import NocstarConfig, ONE_WAY, ROUND_TRIP
 from repro.core.link_arbiter import control_fanout
+from repro.faults.inject import (
+    FALLBACK_CYCLES_PER_HOP,
+    FALLBACK_INJECTION_CYCLES,
+)
+from repro.faults.routing import UnreachableError
 from repro.noc.topology import Link, MeshTopology
 from repro.obs import NULL_SINK
 
@@ -59,10 +64,18 @@ class NocstarInterconnect:
         topology: MeshTopology,
         config: NocstarConfig = NocstarConfig(),
         sink=NULL_SINK,
+        faults=None,
     ) -> None:
         self.topology = topology
         self.config = config
         self.sink = sink
+        self.faults = faults  # Optional[FaultInjector]
+        if faults is not None and (
+            faults.router.dead or faults.plan.arbiter_drop_prob > 0.0
+        ):
+            # Construction-time dispatch: the fault-free hot path stays
+            # branch-free and byte-identical to the pre-fault model.
+            self.send = self._send_faulty
         #: link -> set of cycles during which the link carries data.
         self._occupied: Dict[Link, Set[int]] = {}
         #: link -> cycle from which the link is held (round-trip mode).
@@ -131,6 +144,113 @@ class NocstarInterconnect:
             setup_retries=retries,
             traversal_cycles=duration,
             links=path,
+        )
+
+    def _send_faulty(
+        self,
+        src: int,
+        dst: int,
+        now: int,
+        speculative_setup: bool = False,
+        hold: bool = False,
+    ) -> "NocstarTraversal":
+        """:meth:`send` under fault injection.
+
+        Resilience policy: a permanently dead link on the arbiters' XY
+        path makes the setup unwinnable, so the message falls back to
+        buffered-mesh routing immediately.  Otherwise the setup loop
+        retries through contention (next cycle, as fault-free) and
+        through transient arbiter drops (exponential backoff, capped at
+        ``max_backoff``); if the grant has not landed within
+        ``setup_timeout`` cycles the circuit-switched fabric is
+        abandoned and the message falls back too.
+        """
+        self.messages += 1
+        if src == dst:
+            self.local_messages += 1
+            return NocstarTraversal(
+                ready=now, hops=0, setup_retries=0, traversal_cycles=0, links=()
+            )
+        inj = self.faults
+        path = tuple(self.topology.xy_path(src, dst))
+        hops = len(path)
+        duration = self.traversal_cycles(hops)
+        earliest = now if speculative_setup else now + 1
+        if not inj.router.path_alive(path):
+            return self._fallback(src, dst, earliest, hops, attempts=1)
+        deadline = earliest + inj.plan.setup_timeout
+        start = earliest
+        attempts = 0
+        drops = 0
+        backoff = 1
+        while True:
+            if start >= deadline:
+                return self._fallback(src, dst, start, hops, attempts)
+            attempts += 1
+            if not self._path_free(path, start, duration):
+                start += 1  # contention: retry next cycle, as fault-free
+                continue
+            if inj.drop_setup():
+                drops += 1
+                inj.record_drop(start, src, dst, backoff)
+                start += backoff
+                backoff = min(backoff * 2, inj.plan.max_backoff)
+                continue
+            break
+        for link in path:
+            occupied = self._occupied.setdefault(link, set())
+            occupied.update(range(start, start + duration))
+            if hold:
+                self._held[link] = start + duration
+        retries = attempts - 1
+        self.control_requests += hops * attempts
+        self.total_hops += hops
+        self.total_setup_retries += retries
+        if retries == 0:
+            self.uncontended_messages += 1
+        self.sink.event(
+            now, "nocstar_setup",
+            src=src, dst=dst, hops=hops, retries=retries, hold=hold,
+            drops=drops,
+        )
+        return NocstarTraversal(
+            ready=start + duration,
+            hops=hops,
+            setup_retries=retries,
+            traversal_cycles=duration,
+            links=path,
+        )
+
+    def _fallback(
+        self, src: int, dst: int, giveup: int, xy_hops: int, attempts: int
+    ) -> "NocstarTraversal":
+        """Deliver over the buffered coherence mesh after abandoning setup.
+
+        The failed attempts still burned control energy; the traversal
+        is then charged at buffered-mesh cost (injection plus
+        router+wire per hop) over the fault-aware route.  Returns
+        ``links=()`` — no circuit is held, so round-trip hold/release
+        bookkeeping is skipped by the existing guards.
+        """
+        inj = self.faults
+        path = inj.router.route(src, dst)
+        if path is None:
+            raise UnreachableError(
+                f"no alive route {src}->{dst}; caller must pre-check "
+                "reachability and degrade to a local walk"
+            )
+        hops = len(path)
+        self.control_requests += xy_hops * attempts
+        self.total_setup_retries += attempts
+        self.total_hops += hops
+        ready = giveup + FALLBACK_INJECTION_CYCLES + FALLBACK_CYCLES_PER_HOP * hops
+        inj.record_fallback(giveup, src, dst, hops)
+        return NocstarTraversal(
+            ready=ready,
+            hops=hops,
+            setup_retries=attempts,
+            traversal_cycles=ready - giveup,
+            links=(),
         )
 
     def _path_free(self, path: Tuple[Link, ...], start: int, duration: int) -> bool:

@@ -1,0 +1,54 @@
+"""``repro.faults`` — deterministic fault injection & resilience.
+
+Three layers, mirroring ``repro.obs``'s structure:
+
+* :mod:`repro.faults.models` — the typed fault models (permanent
+  :class:`LinkFailure`, transient :class:`ArbiterDrop`, permanent
+  :class:`SliceFailure`, :class:`WalkerSlowdown`) composed into a
+  :class:`FaultSpec`, which *compiles* into a frozen :class:`FaultPlan`:
+  the concrete, seed-derived set of failures one run injects.  Both the
+  spec and the plan are frozen dataclasses, so either can sit in a
+  :class:`~repro.sim.scenario.Scenario` and participate in the result
+  cache key.
+* :mod:`repro.faults.routing` — :class:`FaultAwareRouter`: XY routing
+  with a YX escape path and a deterministic BFS of last resort around
+  failed links.  ``route()`` returns a path exactly when one exists over
+  the alive links, so "unreachable" means the mesh is genuinely
+  partitioned.
+* :mod:`repro.faults.inject` — :class:`FaultInjector`, the per-run
+  mutable state: the runtime RNG (seeded from the plan's sub-seed, no
+  module-level randomness anywhere), the route cache, and the
+  degradation counters the simulator reports.
+
+Determinism contract: every stochastic choice — which links die, which
+slices die, whether a given setup attempt is dropped — derives from
+sub-seeds split from the scenario seed with :func:`derive_seed`.  Same
+seed, same plan, same drop sequence, byte-identical results across
+serial, parallel, and cache-replayed executions.  With no plan (the
+default) the simulator follows the exact pre-fault code path.
+"""
+
+from repro.faults.inject import FaultInjector
+from repro.faults.models import (
+    ArbiterDrop,
+    FaultPlan,
+    FaultSpec,
+    LinkFailure,
+    SliceFailure,
+    WalkerSlowdown,
+    derive_seed,
+)
+from repro.faults.routing import FaultAwareRouter, UnreachableError
+
+__all__ = [
+    "LinkFailure",
+    "ArbiterDrop",
+    "SliceFailure",
+    "WalkerSlowdown",
+    "FaultSpec",
+    "FaultPlan",
+    "derive_seed",
+    "FaultAwareRouter",
+    "UnreachableError",
+    "FaultInjector",
+]

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.faults.routing import UnreachableError
 from repro.noc.topology import Link, MeshTopology
 from repro.obs import NULL_SINK
 
@@ -38,16 +39,22 @@ class ContentionFreeMesh:
         router_cycles: int = 1,
         wire_cycles: int = 1,
         sink=NULL_SINK,
+        faults=None,
     ) -> None:
         self.topology = topology
         self.router_cycles = router_cycles
         self.wire_cycles = wire_cycles
         self.cycles_per_hop = router_cycles + wire_cycles
+        self.faults = faults  # Optional[FaultInjector]
         self.messages = 0
         self.total_hops = 0
         #: link -> messages carried; populated only when observed.
         self.link_traversals: Dict[Link, int] = {}
-        if sink.enabled:
+        if faults is not None and faults.router.dead:
+            # Fault-aware routing subsumes observation: the detour path
+            # must be computed anyway, so links are always accounted.
+            self.send = self._send_fault_routed  # type: ignore[method-assign]
+        elif sink.enabled:
             # Construction-time dispatch, not per-send branching: the
             # unobserved send never pays for XY path computation.
             self.send = self._send_observed  # type: ignore[method-assign]
@@ -62,6 +69,28 @@ class ContentionFreeMesh:
         """send() plus per-link accounting; timing is identical (the XY
         path length equals the Manhattan hop count)."""
         path = self.topology.xy_path(src, dst)
+        for link in path:
+            self.link_traversals[link] = self.link_traversals.get(link, 0) + 1
+        self.messages += 1
+        self.total_hops += len(path)
+        return Traversal(
+            arrival=now + len(path) * self.cycles_per_hop,
+            hops=len(path),
+            links=tuple(path),
+        )
+
+    def _send_fault_routed(self, src: int, dst: int, now: int) -> Traversal:
+        """send() over the fault-aware route around dead links.
+
+        Detours lengthen the path beyond the Manhattan distance, so the
+        hop count (and latency) comes from the routed path itself.
+        """
+        path = self.faults.router.route(src, dst)
+        if path is None:
+            raise UnreachableError(
+                f"no alive route {src}->{dst}; caller must pre-check "
+                "reachability and degrade to a local walk"
+            )
         for link in path:
             self.link_traversals[link] = self.link_traversals.get(link, 0) + 1
         self.messages += 1

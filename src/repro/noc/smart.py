@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.faults.routing import UnreachableError
 from repro.noc.mesh import Traversal
 from repro.noc.topology import Link, MeshTopology
 from repro.obs import NULL_SINK
@@ -24,13 +25,19 @@ class SmartNetwork:
     """SMART mesh with HPCmax bypass and conflict-induced stops."""
 
     def __init__(
-        self, topology: MeshTopology, hpc_max: int = 8, sink=NULL_SINK
+        self, topology: MeshTopology, hpc_max: int = 8, sink=NULL_SINK,
+        faults=None,
     ) -> None:
         if hpc_max < 1:
             raise ValueError("HPCmax must be at least 1")
         self.topology = topology
         self.hpc_max = hpc_max
         self.sink = sink
+        self.faults = faults  # Optional[FaultInjector]
+        if faults is not None and faults.router.dead:
+            self._route = self._fault_route
+        else:
+            self._route = topology.xy_path
         #: link -> cycles during which it carries a flit (per-cycle
         #: occupancy; see the reservation note in repro.core.nocstar).
         self._occupied: Dict[Link, set] = {}
@@ -47,8 +54,19 @@ class SmartNetwork:
         occupied = self._occupied.get(link)
         return not occupied or cycle not in occupied
 
+    def _fault_route(self, src: int, dst: int) -> List[Link]:
+        """Fault-aware route: bypass segments then ride the detour path
+        (SSRs follow whatever route the flit is configured with)."""
+        path = self.faults.router.route(src, dst)
+        if path is None:
+            raise UnreachableError(
+                f"no alive route {src}->{dst}; caller must pre-check "
+                "reachability and degrade to a local walk"
+            )
+        return list(path)
+
     def send(self, src: int, dst: int, now: int) -> Traversal:
-        path = self.topology.xy_path(src, dst)
+        path = self._route(src, dst)
         self.messages += 1
         self.total_hops += len(path)
         if not path:

@@ -63,6 +63,28 @@ class MeshTopology:
             y = nxt
         return links
 
+    def yx_path(self, src: int, dst: int) -> List[Link]:
+        """Directed links of the YX route (Y dimension first, then X).
+
+        The escape route for fault-aware routing: XY and YX share no
+        intermediate links, so a single failed link never blocks both.
+        """
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        links: List[Link] = []
+        x, y = sx, sy
+        step = 1 if dy > y else -1
+        while y != dy:
+            nxt = y + step
+            links.append((self.tile_at(x, y), self.tile_at(x, nxt)))
+            y = nxt
+        step = 1 if dx > x else -1
+        while x != dx:
+            nxt = x + step
+            links.append((self.tile_at(x, y), self.tile_at(nxt, y)))
+            x = nxt
+        return links
+
     @property
     def center_tile(self) -> int:
         """Tile nearest the grid centre (monolithic placement candidate)."""

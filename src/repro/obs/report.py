@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import sys
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import render_table
@@ -99,16 +100,37 @@ def load_obs_records(
     A line is an event when it carries a ``kind``; anything else with a
     ``cycles`` or ``metrics`` field is treated as a run record (this is
     what makes Runner telemetry files directly reportable).
+
+    Robust by design: an absent file is warned about and skipped (a
+    sweep that produced no trace should not kill the report of the ones
+    that did), and malformed or non-object JSONL lines are skipped —
+    reporting renders whatever evidence exists.  Event kinds are passed
+    through untouched, so files written by a newer schema (with kinds
+    this version does not know) still render.
     """
     runs: List[RunRecord] = []
     events: List[EventRecord] = []
     for path in paths:
+        if not os.path.exists(path):
+            print(f"warning: no such obs file, skipping: {path}",
+                  file=sys.stderr)
+            continue
         with open(path) as fh:
-            for line in fh:
+            for lineno, line in enumerate(fh, start=1):
                 line = line.strip()
                 if not line:
                     continue
-                record = json.loads(line)
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    print(
+                        f"warning: skipping malformed JSONL line "
+                        f"{path}:{lineno}",
+                        file=sys.stderr,
+                    )
+                    continue
+                if not isinstance(record, dict):
+                    continue
                 if "kind" in record:
                     events.append(record)
                 elif "metrics" in record or "cycles" in record:
@@ -219,13 +241,41 @@ def _event_rows(
         events = filter_window(events, window[0], window[1])
     by_kind: Dict[str, List[int]] = {}
     for event in events:
-        by_kind.setdefault(str(event.get("kind")), []).append(
-            int(event.get("cycle", 0))
-        )
+        try:
+            cycle = int(event.get("cycle", 0))
+        except (TypeError, ValueError):
+            continue  # foreign record with an unusable timestamp
+        by_kind.setdefault(str(event.get("kind")), []).append(cycle)
     return [
         [kind, len(cycles), min(cycles), max(cycles)]
         for kind, cycles in sorted(by_kind.items())
     ]
+
+
+def _fault_rows(runs: Iterable[RunRecord]) -> List[List]:
+    """One row per run that published ``faults.*`` counters."""
+    rows = []
+    for record in runs:
+        metrics = record.get("metrics") or {}
+        counters = metrics.get("counters") or {}
+        faults = {
+            name[len("faults."):]: value
+            for name, value in counters.items()
+            if isinstance(name, str) and name.startswith("faults.")
+        }
+        if not faults:
+            continue
+        rows.append(
+            [
+                _label(record),
+                faults.get("arbiter_drops", 0),
+                faults.get("fallback_messages", 0),
+                faults.get("fallback_hops", 0),
+                faults.get("degraded_walks", 0),
+                faults.get("shootdown_retries", 0),
+            ]
+        )
+    return rows
 
 
 def render_report(
@@ -289,6 +339,17 @@ def render_report(
                 ["run", "slice", "hits", "misses", "hit_rate", "occupancy"],
                 slice_rows,
                 title=f"== hottest L2 slices (top {top} per run) ==",
+            )
+        )
+
+    fault_rows = _fault_rows(runs)
+    if fault_rows:
+        sections.append(
+            render_table(
+                ["run", "drops", "fallbacks", "fb_hops", "degraded",
+                 "sd_retries"],
+                fault_rows,
+                title="== fault injection ==",
             )
         )
 

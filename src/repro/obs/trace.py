@@ -31,6 +31,12 @@ from typing import Dict, Iterable, List, Optional
 #: ``walk_end``       the walk's completion, with its latency
 #: ``shootdown``      one TLB-shootdown remapping event
 #: ``storm_flush``    TLB-storm context-switch flush + promotion burst
+#: ``fault_drop``     transient arbiter drop of a NOCSTAR setup attempt
+#: ``fault_fallback`` setup abandoned; message rerouted over the
+#:                    buffered mesh around failed links
+#: ``fault_degraded`` lookup degraded to a local page walk (dead or
+#:                    partitioned home slice)
+#: ``fault_shootdown_retry``  shootdown message dropped and retransmitted
 EVENT_KINDS = (
     "l1_lookup",
     "l2_lookup",
@@ -40,6 +46,10 @@ EVENT_KINDS = (
     "walk_end",
     "shootdown",
     "storm_flush",
+    "fault_drop",
+    "fault_fallback",
+    "fault_degraded",
+    "fault_shootdown_retry",
 )
 _KIND_SET = frozenset(EVENT_KINDS)
 
@@ -112,10 +122,20 @@ def filter_window(
     start: Optional[int] = None,
     end: Optional[int] = None,
 ) -> List[Dict[str, object]]:
-    """Time-window filter over event records (``start`` <= cycle < ``end``)."""
+    """Time-window filter over event records (``start`` <= cycle < ``end``).
+
+    Tolerant of foreign records: a non-numeric ``cycle`` (e.g. from a
+    hand-edited or newer-schema file) is coerced when possible and the
+    record is skipped otherwise, rather than raising mid-report.
+    """
     out = []
     for event in events:
         cycle = event.get("cycle", 0)
+        if not isinstance(cycle, (int, float)):
+            try:
+                cycle = int(cycle)
+            except (TypeError, ValueError):
+                continue
         if start is not None and cycle < start:
             continue
         if end is not None and cycle >= end:

@@ -20,6 +20,7 @@ import heapq
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.faults.models import FaultPlan, FaultSpec, derive_seed
 from repro.obs import NULL_SINK, EventTrace, MetricsSink
 from repro.sim import configs as cfg
 from repro.sim.results import RunResult
@@ -36,8 +37,19 @@ DEFAULT_QUANTUM = 256
 #: workload generation, energy accounting.  Observability (the metrics
 #: sink / event trace) is pure: it records sim-cycle timestamps that
 #: the model already computed and never feeds back into timing, so
-#: enabling or extending it does NOT bump this version.
+#: enabling or extending it does NOT bump this version.  Fault
+#: injection likewise does not bump it: with ``faults=None`` (or an
+#: empty plan) the engine follows the exact pre-fault code path, and a
+#: non-empty plan is itself a cache-key field of the RunUnit, so
+#: key => result determinism still holds.
 ENGINE_VERSION = "1"
+
+
+class WatchdogExpired(RuntimeError):
+    """Raised when simulated time exceeds ``watchdog_cycles``.
+
+    A liveness backstop for fault experiments: resilience bugs must
+    surface as this exception, never as a silent hang."""
 
 
 @dataclass(frozen=True)
@@ -113,6 +125,8 @@ def simulate(
     record_intervals: bool = False,
     metrics: bool = False,
     trace: bool = False,
+    faults: Optional[FaultPlan] = None,
+    watchdog_cycles: Optional[int] = None,
 ) -> RunResult:
     """Run ``workload`` on a machine built from ``config``.
 
@@ -126,6 +140,13 @@ def simulate(
     a snapshot in ``RunResult.metrics``; ``trace`` (implies metrics)
     additionally ring-buffers typed events into ``RunResult.trace``.
     Both are pure observation — timing is identical either way.
+
+    ``faults`` injects a :class:`~repro.faults.models.FaultPlan` (or a
+    :class:`~repro.faults.models.FaultSpec`, compiled here against the
+    workload's seed).  An empty plan is normalised to ``None``, which
+    keeps rate-0 sweep points bit-identical to plain runs.
+    ``watchdog_cycles`` raises :class:`WatchdogExpired` if simulated
+    time ever exceeds it — the no-hang backstop for fault experiments.
     """
     if not isinstance(config, cfg.SystemConfig):
         from dataclasses import replace
@@ -136,6 +157,10 @@ def simulate(
             if workload is not None:
                 raise TypeError(
                     "pass either a Scenario or (config, workload), not both"
+                )
+            if faults is not None:
+                raise TypeError(
+                    "set faults on the Scenario itself, not on simulate()"
                 )
             units = config.units()
             if len(units) != 1:
@@ -150,7 +175,20 @@ def simulate(
                     metrics=unit.metrics or metrics,
                     trace=unit.trace or trace,
                 )
-            return unit.execute()
+            if watchdog_cycles is None:
+                return unit.execute()
+            return simulate(
+                unit.config,
+                unit.build_workload(),
+                quantum=unit.quantum,
+                storm=unit.storm,
+                shootdown=unit.shootdown,
+                record_intervals=unit.record_intervals,
+                metrics=unit.metrics,
+                trace=unit.trace,
+                faults=unit.fault_plan(),
+                watchdog_cycles=watchdog_cycles,
+            )
         raise TypeError(
             f"expected SystemConfig or Scenario, got {type(config).__name__}"
         )
@@ -161,9 +199,23 @@ def simulate(
             f"workload has {workload.num_cores} cores, config expects "
             f"{config.num_cores}"
         )
+    if faults is not None:
+        if isinstance(faults, FaultSpec):
+            faults = faults.compile(
+                config.num_cores, derive_seed(workload.seed, "faults")
+            )
+        if faults.num_tiles != config.num_cores:
+            raise ValueError(
+                f"fault plan compiled for {faults.num_tiles} tiles, "
+                f"config has {config.num_cores} cores"
+            )
+        if faults.is_empty:
+            faults = None  # exact fault-free code path
     event_trace = EventTrace() if trace else None
     sink = MetricsSink(trace=event_trace) if (metrics or trace) else NULL_SINK
-    system = System(config, record_intervals=record_intervals, sink=sink)
+    system = System(
+        config, record_intervals=record_intervals, sink=sink, faults=faults
+    )
     states = [_CoreState(workload.core_streams(c)) for c in range(config.num_cores)]
     heap: List[Tuple[int, int]] = [(0, core) for core in range(config.num_cores)]
     heapq.heapify(heap)
@@ -179,6 +231,11 @@ def simulate(
 
     while heap:
         t, core = heapq.heappop(heap)
+        if watchdog_cycles is not None and t > watchdog_cycles:
+            raise WatchdogExpired(
+                f"core {core} resumed at cycle {t}, past the "
+                f"{watchdog_cycles}-cycle watchdog"
+            )
         state = states[core]
         if pending[core]:
             t += pending[core]
@@ -239,6 +296,7 @@ def simulate(
         app_cycles=app_cycles,
         metrics=sink.registry.snapshot() if sink.enabled else None,
         trace=event_trace.to_records() if event_trace is not None else None,
+        faults=system.fault_summary(),
     )
 
 

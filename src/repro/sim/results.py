@@ -34,6 +34,9 @@ class RunResult:
     #: Ring-buffered typed event records (oldest -> newest) when event
     #: tracing was on; None otherwise.
     trace: Optional[List[Dict[str, object]]] = None
+    #: Fault-injection degradation counters (drops, fallbacks, degraded
+    #: walks, ...); None for fault-free runs.
+    faults: Optional[Dict[str, int]] = None
 
     @property
     def total_energy_pj(self) -> float:
@@ -71,6 +74,8 @@ class RunResult:
             out["metrics"] = self.metrics
         if self.trace is not None:
             out["trace"] = self.trace
+        if self.faults is not None:
+            out["faults"] = dict(self.faults)
         return out
 
 

@@ -47,6 +47,15 @@ class Comparison:
             if name != self.baseline_name
         }
 
+    def fault_summaries(self) -> Dict[str, Dict[str, int]]:
+        """Per-config fault degradation counters; empty when the
+        comparison ran fault-free."""
+        return {
+            name: result.faults
+            for name, result in self.results.items()
+            if getattr(result, "faults", None)
+        }
+
     def misses_eliminated_pct(self, config_name: str) -> float:
         """Fig 2's metric: % of private L2 misses the shared TLB removes."""
         private_misses = self.baseline.stats.l2_misses

@@ -23,6 +23,7 @@ from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import Iterable, Optional, Tuple, Union
 
+from repro.faults.models import FaultPlan, FaultSpec, derive_seed
 from repro.sim import configs as cfg
 from repro.sim.engine import (
     DEFAULT_QUANTUM,
@@ -76,6 +77,21 @@ class RunUnit:
     #: unobserved results never alias in the result cache.
     metrics: bool = False
     trace: bool = False
+    #: Fault injection (appended after the observability flags, same
+    #: positional-compatibility discipline).  A FaultSpec is compiled
+    #: against a "faults"-labelled sub-seed of this unit's seed at
+    #: execute() time; a FaultPlan is injected as-is.  Either way the
+    #: field is frozen data, so faulty and fault-free results never
+    #: alias in the result cache.
+    faults: Optional[Union[FaultSpec, FaultPlan]] = None
+
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The concrete plan this unit injects (compiling a spec)."""
+        if isinstance(self.faults, FaultSpec):
+            return self.faults.compile(
+                self.config.num_cores, derive_seed(self.seed, "faults")
+            )
+        return self.faults
 
     def build_workload(self) -> Workload:
         return _build_workload(
@@ -100,6 +116,7 @@ class RunUnit:
             record_intervals=self.record_intervals,
             metrics=self.metrics,
             trace=self.trace,
+            faults=self.fault_plan(),
         )
 
 
@@ -155,6 +172,8 @@ class Scenario:
     #: Observability flags, mirrored onto every RunUnit.
     metrics: bool = False
     trace: bool = False
+    #: Fault injection, mirrored onto every RunUnit (spec or plan).
+    faults: Optional[Union[FaultSpec, FaultPlan]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -202,6 +221,7 @@ class Scenario:
             quantum=self.quantum,
             metrics=self.metrics,
             trace=self.trace,
+            faults=self.faults,
         )
 
     def units(self) -> Tuple[RunUnit, ...]:

@@ -25,6 +25,8 @@ from repro.energy.components import (
     SWITCH_POWER_MW,
 )
 from repro.energy.model import EnergyModel
+from repro.faults.inject import FaultInjector
+from repro.faults.models import FaultPlan
 from repro.mem import sram
 from repro.mem.cache import CacheHierarchy
 from repro.noc.bus import BusNetwork
@@ -66,10 +68,20 @@ class System:
         record_intervals: bool = False,
         timeline: Optional[List[Tuple[str, int, int]]] = None,
         sink=NULL_SINK,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.config = config
         n = config.num_cores
         self.topology = MeshTopology(n)
+        #: Runtime fault state; None keeps every component on its exact
+        #: fault-free code path (an empty plan is normalised to None by
+        #: the engine, so rate-0 runs are bit-identical to plain runs).
+        self.faults: Optional[FaultInjector] = None
+        if faults is not None and not faults.is_empty:
+            self.faults = FaultInjector(faults, self.topology, sink=sink)
+        #: True when the active network routes around failed links (so
+        #: an unreachable pair must be degraded before issuing).
+        self._network_fault_aware = False
         l1_config = L1TlbConfig()
         if config.l1_scale != 1.0:
             l1_config = l1_config.scaled(config.l1_scale)
@@ -101,11 +113,16 @@ class System:
             else:
                 self.l2_lookup_cycles = self.shared_l2.lookup_cycles
             if config.interconnect == cfg.MESH:
-                self.network = ContentionFreeMesh(self.topology, sink=sink)
+                self.network = ContentionFreeMesh(
+                    self.topology, sink=sink, faults=self.faults
+                )
+                self._network_fault_aware = True
             elif config.interconnect == cfg.SMART:
                 self.network = SmartNetwork(
-                    self.topology, config.smart_hpc, sink=sink
+                    self.topology, config.smart_hpc, sink=sink,
+                    faults=self.faults,
                 )
+                self._network_fault_aware = True
         else:  # distributed / nocstar / ideal
             self.shared_l2 = DistributedSharedTlb(
                 n, config.entries_per_core, config.l2_ways,
@@ -122,11 +139,19 @@ class System:
                         self.topology, narrow=True
                     )
                 else:
-                    self.network = ContentionFreeMesh(self.topology, sink=sink)
+                    self.network = ContentionFreeMesh(
+                        self.topology, sink=sink, faults=self.faults
+                    )
+                    self._network_fault_aware = True
             elif scheme == cfg.NOCSTAR:
+                # The idealised fabric abstracts links away entirely, so
+                # link faults have nothing physical to act on there.
+                net_faults = None if config.nocstar_ideal else self.faults
                 self.network = NocstarInterconnect(
-                    self.topology, config.nocstar, sink=sink
+                    self.topology, config.nocstar, sink=sink,
+                    faults=net_faults,
                 )
+                self._network_fault_aware = not config.nocstar_ideal
 
         # --- Walkers ------------------------------------------------------
         self.page_table = PageTable()
@@ -203,6 +228,25 @@ class System:
         shared = self.shared_l2
         home = shared.home(page_number, asid)
         dst_tile = self.mono_tile if self._is_monolithic else home
+        inj = self.faults
+        if inj is not None:
+            # Degrade rather than hang: a dead home slice cannot serve
+            # the lookup, and a partitioned pair cannot complete the
+            # round trip — either way the request walks locally (no
+            # shared fill: the slice would never receive it).
+            dead_slice = not self._is_monolithic and inj.slice_dead(home)
+            unreachable = (
+                core != dst_tile
+                and self._network_fault_aware
+                and not inj.router.reachable_round_trip(core, dst_tile)
+            )
+            if dead_slice or unreachable:
+                self.stats.l2_misses += 1
+                inj.record_degraded_walk(now, core, dst_tile)
+                walk_done = self._walk_at(core, asid, size, page_number, now)
+                if self.timeline is not None:
+                    self.timeline.append(("walk", now, walk_done))
+                return self._charge(0, walk_done - now)
         held_links = ()
 
         # Request leg.
@@ -338,7 +382,10 @@ class System:
         self, core: int, asid: int, size: int, page_number: int, when: int
     ) -> None:
         result = self.walker.walk(core, asid, page_number << _SHIFT[size], size, when)
-        self.walker_queues[core].admit(when, result.latency)
+        latency = result.latency
+        if self.faults is not None:
+            latency = self.faults.walk_latency(latency)
+        self.walker_queues[core].admit(when, latency)
 
     _last_pollution = 0
 
@@ -350,7 +397,10 @@ class System:
         result = self.walker.walk(core, asid, vpn, size, now)
         self._last_pollution = getattr(result, "pollution", 0)
         self.stats.walks += 1
-        return self.walker_queues[core].admit(now, result.latency)
+        latency = result.latency
+        if self.faults is not None:
+            latency = self.faults.walk_latency(latency)
+        return self.walker_queues[core].admit(now, latency)
 
     # ------------------------------------------------------------------
     # Shootdowns and storms
@@ -418,7 +468,17 @@ class System:
         flood of simultaneous invalidates would otherwise jam the
         circuit-switched fabric's all-or-nothing arbitration.  Their
         congestion shows up where it belongs: at the slice write ports
-        and in the senders' IPI-handler stalls."""
+        and in the senders' IPI-handler stalls.
+
+        Under fault injection delivery is delegated to the injector:
+        the message is routed around dead links, retried with backoff
+        on transient drops, and skipped (zero cost, counted) when the
+        target is partitioned away.  With no dead links and no drop
+        probability the injector's cost formula reduces to exactly the
+        expression below."""
+        if self.faults is not None:
+            arrival = self.faults.shootdown_send(src, dst, now)
+            return now if arrival is None else arrival
         return now + 2 * self.topology.hops(src, dst) + 1
 
     def flush_all_tlbs(self) -> None:
@@ -529,6 +589,8 @@ class System:
                         f"noc.link.{src}>{dst}.util",
                         busy / cycles if cycles else 0.0,
                     )
+        if self.faults is not None:
+            self.faults.publish_metrics()
         trace = sink.trace
         if trace is not None:
             sink.gauge("trace.emitted", trace.emitted)
@@ -548,7 +610,15 @@ class System:
                 entries = self.config.entries_per_core
             model.l2_lookup(entries, self.shared_l2.accesses)
         if self._is_nocstar:
-            model.nocstar_hops(self.network.total_hops)
+            hops = self.network.total_hops
+            if self.faults is not None:
+                # Fallback hops traversed the buffered mesh, not the
+                # latchless switches: charge them at the mesh rate.
+                fallback = self.faults.fallback_hops
+                model.nocstar_hops(hops - fallback)
+                model.mesh_hops(fallback)
+            else:
+                model.nocstar_hops(hops)
             model.control(self.network.control_requests)
         elif self.network is not None:
             model.mesh_hops(self.network.total_hops)
@@ -586,6 +656,10 @@ class System:
                 ),
             }
         return {}
+
+    def fault_summary(self) -> Optional[Dict[str, int]]:
+        """Degradation counters of this run, or None when fault-free."""
+        return self.faults.summary() if self.faults is not None else None
 
     def walk_level_summary(self) -> Dict[str, int]:
         if isinstance(self.walker, PageTableWalker):

@@ -1,0 +1,80 @@
+"""The ``repro faults`` degradation sweep and the fault flags on run."""
+
+import json
+
+from repro import cli
+
+
+def _faults_args(tmp_path, extra=()):
+    return [
+        "faults",
+        "--workload", "olio",
+        "--cores", "8",
+        "--accesses", "500",
+        "--rates", "0,0.1",
+        "--no-cache",
+        "--out", str(tmp_path / "curve.json"),
+        *extra,
+    ]
+
+
+def test_faults_command_writes_the_degradation_curve(tmp_path, capsys):
+    assert cli.main(_faults_args(tmp_path)) == 0
+    out = capsys.readouterr().out
+    assert "fault rate" in out and "degraded" in out
+    payload = json.loads((tmp_path / "curve.json").read_text())
+    assert payload["config"] == "nocstar"
+    rates = [point["rate"] for point in payload["points"]]
+    assert rates == [0.0, 0.1]
+    # The fault-free anchor: speedup exactly 1, no fault summary.
+    assert payload["points"][0]["speedup"] == 1.0
+    assert payload["points"][0]["faults"] == {}
+    assert payload["points"][1]["faults"]  # the faulty point counted things
+
+
+def test_faults_command_always_anchors_at_rate_zero(tmp_path):
+    # Rates without 0 get the anchor inserted.
+    args = _faults_args(tmp_path)
+    args[args.index("0,0.1")] = "0.1"
+    assert cli.main(args) == 0
+    payload = json.loads((tmp_path / "curve.json").read_text())
+    assert [p["rate"] for p in payload["points"]] == [0.0, 0.1]
+
+
+def test_run_prints_a_fault_summary_with_fault_flags(capsys):
+    rc = cli.main(
+        [
+            "run",
+            "--workload", "gups",
+            "--cores", "8",
+            "--accesses", "400",
+            "--configs", "nocstar,distributed",
+            "--no-cache",
+            "--fault-rate", "0.1",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fault summary" in out
+
+
+def test_run_without_fault_flags_prints_no_fault_summary(capsys):
+    rc = cli.main(
+        [
+            "run",
+            "--workload", "gups",
+            "--cores", "8",
+            "--accesses", "400",
+            "--configs", "nocstar",
+            "--no-cache",
+        ]
+    )
+    assert rc == 0
+    assert "fault summary" not in capsys.readouterr().out
+
+
+def test_report_survives_an_absent_obs_file(capsys):
+    assert cli.main(["report", "does-not-exist.jsonl"]) == 0
+    captured = capsys.readouterr()
+    assert "no such obs file" in captured.err
+    assert "no metric snapshots or events" in captured.out

@@ -1,0 +1,130 @@
+"""Fault models and spec -> plan compilation.
+
+ISSUE tentpole: FaultSpec compiles deterministically into a frozen
+FaultPlan, rate-selected failures are *nested* across rates (prefixes of
+one seeded permutation, the property degradation monotonicity rests
+on), and plans canonicalise for the result cache.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.exec.cache import canonical_json
+from repro.faults.models import (
+    ArbiterDrop,
+    FaultPlan,
+    FaultSpec,
+    LinkFailure,
+    SliceFailure,
+    WalkerSlowdown,
+    derive_seed,
+)
+
+
+def test_derive_seed_is_stable_and_label_sensitive():
+    a = derive_seed(42, "faults")
+    assert a == derive_seed(42, "faults")  # pure function of (base, label)
+    assert a != derive_seed(42, "faults2")
+    assert a != derive_seed(43, "faults")
+    assert 0 <= a < 1 << 63
+
+
+def test_compile_is_deterministic():
+    spec = FaultSpec(
+        links=LinkFailure(rate=0.2),
+        arbiter=ArbiterDrop(probability=0.1),
+        slices=SliceFailure(rate=0.25),
+        walker=WalkerSlowdown(factor=1.5),
+    )
+    plan_a = spec.compile(16, base_seed=9)
+    plan_b = spec.compile(16, base_seed=9)
+    assert plan_a == plan_b
+    # A different base seed rolls a different concrete failure set.
+    plan_c = spec.compile(16, base_seed=10)
+    assert (plan_a.failed_links, plan_a.seed) != (
+        plan_c.failed_links,
+        plan_c.seed,
+    )
+
+
+def test_rate_selected_failures_are_nested_across_rates():
+    seed = 77
+    previous_links = frozenset()
+    previous_slices = frozenset()
+    for rate in (0.0, 0.1, 0.2, 0.4, 0.7, 1.0):
+        plan = FaultSpec(
+            links=LinkFailure(rate=rate), slices=SliceFailure(rate=rate)
+        ).compile(16, base_seed=seed)
+        links = frozenset(plan.failed_links)
+        slices = frozenset(plan.failed_slices)
+        assert previous_links <= links
+        assert previous_slices <= slices
+        previous_links, previous_slices = links, slices
+    # rate 1.0 fails everything
+    assert previous_slices == frozenset(range(16))
+
+
+def test_explicit_links_and_slices_are_validated_and_added():
+    plan = FaultSpec(
+        links=LinkFailure(links=((0, 1),)), slices=SliceFailure(slices=(3,))
+    ).compile(16, base_seed=1)
+    assert plan.failed_links == ((0, 1),)
+    assert plan.failed_slices == (3,)
+    with pytest.raises(ValueError):
+        FaultSpec(links=LinkFailure(links=((0, 5),))).compile(16, base_seed=1)
+    with pytest.raises(ValueError):
+        FaultSpec(slices=SliceFailure(slices=(16,))).compile(16, base_seed=1)
+
+
+def test_model_validation_rejects_out_of_range_values():
+    with pytest.raises(ValueError):
+        LinkFailure(rate=1.5)
+    with pytest.raises(ValueError):
+        ArbiterDrop(probability=-0.1)
+    with pytest.raises(ValueError):
+        SliceFailure(rate=2.0)
+    with pytest.raises(ValueError):
+        WalkerSlowdown(factor=0.5)
+    with pytest.raises(ValueError):
+        FaultSpec(setup_timeout=0)
+    with pytest.raises(ValueError):
+        FaultPlan(num_tiles=16, arbiter_drop_prob=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(num_tiles=16, failed_slices=(99,))
+
+
+def test_empty_plan_detection():
+    assert FaultSpec().compile(16, base_seed=5).is_empty
+    assert FaultPlan(num_tiles=16).is_empty
+    assert not FaultPlan(num_tiles=16, failed_links=((0, 1),)).is_empty
+    assert not FaultPlan(num_tiles=16, arbiter_drop_prob=0.1).is_empty
+    assert not FaultPlan(num_tiles=16, failed_slices=(2,)).is_empty
+    assert not FaultPlan(num_tiles=16, walker_slowdown=2.0).is_empty
+
+
+def test_scaled_walk_latency_identity_and_ceiling():
+    assert FaultPlan(num_tiles=4).scaled_walk_latency(37) == 37
+    plan = FaultPlan(num_tiles=4, walker_slowdown=1.5)
+    assert plan.scaled_walk_latency(10) == 15
+    assert plan.scaled_walk_latency(11) == 17  # 16.5 rounds up
+
+
+def test_plans_are_frozen_and_canonicalisable():
+    plan = FaultSpec(
+        links=LinkFailure(rate=0.1), arbiter=ArbiterDrop(probability=0.05)
+    ).compile(16, base_seed=3)
+    assert dataclasses.is_dataclass(plan)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        plan.seed = 0
+    # Cache-key participation: both layers canonicalise, and distinct
+    # plans produce distinct canonical forms.
+    empty = FaultPlan(num_tiles=16)
+    assert canonical_json(plan) == canonical_json(
+        FaultSpec(
+            links=LinkFailure(rate=0.1),
+            arbiter=ArbiterDrop(probability=0.05),
+        ).compile(16, base_seed=3)
+    )
+    assert canonical_json(plan) != canonical_json(empty)
+    assert canonical_json(FaultSpec()) != canonical_json(None)

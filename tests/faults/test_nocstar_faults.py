@@ -1,0 +1,104 @@
+"""NOCSTAR resilience: bounded retry, backoff, and buffered-mesh fallback."""
+
+import pytest
+
+from repro.core.nocstar import NocstarInterconnect
+from repro.faults.inject import (
+    FALLBACK_CYCLES_PER_HOP,
+    FALLBACK_INJECTION_CYCLES,
+    FaultInjector,
+)
+from repro.faults.models import FaultPlan
+from repro.faults.routing import UnreachableError
+from repro.noc.topology import MeshTopology
+
+
+def _injector(num_tiles=16, **plan_kwargs):
+    topology = MeshTopology(num_tiles)
+    plan = FaultPlan(num_tiles=num_tiles, **plan_kwargs)
+    return topology, FaultInjector(plan, topology)
+
+
+def test_benign_plan_keeps_the_fault_free_send_path():
+    # Slice failures and walker slowdowns never touch the interconnect:
+    # the construction-time dispatch must leave the hot path unbound.
+    topology, injector = _injector(failed_slices=(3,), walker_slowdown=2.0)
+    noc = NocstarInterconnect(topology, faults=injector)
+    assert "send" not in noc.__dict__  # class method, not the faulty shim
+    plain = NocstarInterconnect(topology)
+    for src, dst, now in ((0, 15, 5), (3, 12, 40), (7, 7, 41)):
+        assert noc.send(src, dst, now) == plain.send(src, dst, now)
+
+
+def test_dead_xy_link_falls_back_immediately():
+    topology, injector = _injector(failed_links=((1, 2),))
+    noc = NocstarInterconnect(topology, faults=injector)
+    traversal = noc.send(0, 3, now=10)  # XY path 0>1>2>3 crosses 1>2
+    fallback_path = injector.router.route(0, 3)
+    assert fallback_path is not None and (1, 2) not in fallback_path
+    assert traversal.links == ()  # no circuit held
+    assert traversal.hops == len(fallback_path)
+    assert traversal.ready == (
+        11  # earliest = now + 1 (non-speculative setup)
+        + FALLBACK_INJECTION_CYCLES
+        + FALLBACK_CYCLES_PER_HOP * len(fallback_path)
+    )
+    assert injector.fallback_messages == 1
+    assert injector.fallback_hops == len(fallback_path)
+
+
+def test_certain_drops_hit_the_setup_timeout_then_fall_back():
+    topology, injector = _injector(
+        arbiter_drop_prob=1.0, setup_timeout=16, seed=5
+    )
+    noc = NocstarInterconnect(topology, faults=injector)
+    traversal = noc.send(0, 3, now=0)
+    assert injector.arbiter_drops > 0  # backed off through real drops
+    assert injector.fallback_messages == 1
+    assert traversal.links == ()
+    # Gave up no earlier than the deadline, then paid buffered-mesh cost.
+    assert traversal.ready >= 1 + 16 + FALLBACK_INJECTION_CYCLES
+
+
+def test_transient_drops_retry_with_backoff_then_deliver():
+    topology, injector = _injector(arbiter_drop_prob=0.5, seed=3)
+    noc = NocstarInterconnect(topology, faults=injector)
+    plain = NocstarInterconnect(topology)
+    dropped = delivered = 0
+    for i in range(40):
+        now = i * 50
+        traversal = noc.send(0, 15, now)
+        baseline = plain.send(0, 15, now)
+        assert traversal.hops == baseline.hops
+        assert traversal.links == baseline.links  # circuit still held
+        if traversal.ready == baseline.ready:
+            delivered += 1
+        else:
+            dropped += 1
+            assert traversal.ready > baseline.ready  # backoff only adds
+    assert delivered > 0 and dropped > 0
+    assert injector.arbiter_drops > 0
+    assert injector.fallback_messages == 0  # drops resolved within timeout
+
+
+def test_fallback_to_a_partitioned_destination_raises():
+    # Tile 0 loses both out-links: XY is dead and no fallback route
+    # exists.  The system pre-checks reachability and degrades, so the
+    # interconnect treats this as a protocol bug, loudly.
+    topology, injector = _injector(failed_links=((0, 1), (0, 4)))
+    noc = NocstarInterconnect(topology, faults=injector)
+    with pytest.raises(UnreachableError):
+        noc.send(0, 3, now=0)
+
+
+def test_faulty_send_counts_energy_and_messages_like_the_seed_path():
+    topology, injector = _injector(failed_links=((8, 9),))
+    noc = NocstarInterconnect(topology, faults=injector)
+    # A message whose XY path avoids the dead link follows the normal
+    # accounting: one uncontended setup, hops charged once.
+    traversal = noc.send(0, 3, now=0)
+    assert traversal.setup_retries == 0
+    assert noc.messages == 1
+    assert noc.uncontended_messages == 1
+    assert noc.control_requests == traversal.hops
+    assert noc.total_hops == traversal.hops

@@ -61,6 +61,76 @@ def test_obs_jsonl_round_trip(tmp_path):
     assert len(events) == len(result.trace)
 
 
+def test_loader_skips_absent_files_with_a_warning(tmp_path, capsys):
+    present = tmp_path / "obs.jsonl"
+    present.write_text('{"type": "run", "cycles": 5, "metrics": null}\n')
+    runs, events = load_obs_records(
+        [str(tmp_path / "missing.jsonl"), str(present)]
+    )
+    assert len(runs) == 1 and not events
+    assert "no such obs file" in capsys.readouterr().err
+
+
+def test_loader_handles_empty_files(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    runs, events = load_obs_records([str(path)])
+    assert runs == [] and events == []
+    assert "no metric snapshots or events" in render_report(runs, events)
+
+
+def test_loader_skips_malformed_and_non_object_lines(tmp_path, capsys):
+    path = tmp_path / "mixed.jsonl"
+    path.write_text(
+        "\n".join(
+            [
+                '{"type": "run", "cycles": 9, "metrics": null}',
+                "{not json at all",
+                '[1, 2, 3]',
+                '"just a string"',
+                '{"type": "event", "kind": "l1_lookup", "cycle": 4}',
+            ]
+        )
+        + "\n"
+    )
+    runs, events = load_obs_records([str(path)])
+    assert len(runs) == 1 and len(events) == 1
+    assert "malformed JSONL line" in capsys.readouterr().err
+
+
+def test_report_renders_unknown_kinds_and_bad_cycles(tmp_path):
+    # Records from a newer schema: an unknown event kind must render,
+    # and an event with a non-numeric cycle must be skipped, not crash.
+    events = [
+        {"kind": "fault_hyperdrive", "cycle": 10},
+        {"kind": "fault_hyperdrive", "cycle": 20},
+        {"kind": "weird", "cycle": "not-a-number"},
+    ]
+    text = render_report([], events)
+    assert "fault_hyperdrive" in text
+    assert "weird" not in text  # unusable timestamp: dropped row
+
+
+def test_report_renders_fault_counters(tmp_path):
+    runs = [
+        {
+            "config": "nocstar",
+            "workload": "gups",
+            "cycles": 100,
+            "metrics": {
+                "counters": {
+                    "faults.arbiter_drops": 7,
+                    "faults.fallback_messages": 2,
+                    "faults.degraded_walks": 1,
+                }
+            },
+        }
+    ]
+    text = render_report(runs, [])
+    assert "fault injection" in text
+    assert "nocstar/gups" in text
+
+
 def test_loader_accepts_runner_telemetry_shape(tmp_path):
     # A telemetry record has no "type" field, but carries cycles +
     # metrics — the loader must classify it as a run record.

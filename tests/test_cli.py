@@ -148,9 +148,13 @@ def test_report_command_window(tmp_path, capsys):
     assert "window 0..50" in out
 
 
-def test_report_command_missing_file():
-    with pytest.raises(SystemExit, match="no such obs"):
-        main(["report", "/nonexistent/obs.jsonl"])
+def test_report_command_missing_file(capsys):
+    # Robust by design: an absent obs file is warned about and skipped,
+    # and the report still renders (its empty-input placeholder here).
+    assert main(["report", "/nonexistent/obs.jsonl"]) == 0
+    captured = capsys.readouterr()
+    assert "no such obs file" in captured.err
+    assert "no metric snapshots or events" in captured.out
 
 
 def test_report_command_bad_window(tmp_path):
