@@ -4,8 +4,9 @@ RUN = PYTHONPATH=src $(PYTHON)
 # Content-addressed result cache used by the CLI (see repro.exec).
 CACHE_DIR ?= .repro-cache
 
-.PHONY: install test smoke report-smoke faults-smoke verify bench \
-        bench-full bench-faults examples calibrate cache-clean clean
+.PHONY: install test smoke report-smoke faults-smoke bench-engine-smoke \
+        verify bench bench-full bench-faults examples calibrate \
+        cache-clean clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -37,9 +38,15 @@ faults-smoke:
 	$(RUN) -m repro report .faults-smoke.jsonl --top 4
 	rm -f .faults-smoke.jsonl
 
-# The full local gate: tests plus the parallel, observability, and
-# fault-injection smokes.
-verify: test smoke report-smoke faults-smoke
+# Engine fast-path smoke: the perf guard (batched engine must beat the
+# REPRO_REFERENCE_ENGINE=1 reference loop by >= 1.5x on the 64-core
+# scenario, bit-identically) plus the BENCH_engine.json artefact.
+bench-engine-smoke:
+	$(RUN) benchmarks/bench_engine.py
+
+# The full local gate: tests plus the parallel, observability,
+# fault-injection, and engine fast-path smokes.
+verify: test smoke report-smoke faults-smoke bench-engine-smoke
 
 bench:
 	$(RUN) -m pytest benchmarks/ --benchmark-only

@@ -27,8 +27,7 @@ conflicts on a link cause retries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Set, Tuple
+from typing import Dict, NamedTuple, Set, Tuple
 
 from repro.core.config import NocstarConfig, ONE_WAY, ROUND_TRIP
 from repro.core.link_arbiter import control_fanout
@@ -41,9 +40,12 @@ from repro.noc.topology import Link, MeshTopology
 from repro.obs import NULL_SINK
 
 
-@dataclass(frozen=True)
-class NocstarTraversal:
-    """Outcome of one message through the TLB interconnect."""
+class NocstarTraversal(NamedTuple):
+    """Outcome of one message through the TLB interconnect.
+
+    A NamedTuple for the same reason as :class:`repro.noc.mesh.
+    Traversal`: construction sits on the per-message hot path.
+    """
 
     ready: int  # cycle the message is available at the destination
     hops: int
@@ -65,17 +67,29 @@ class NocstarInterconnect:
         config: NocstarConfig = NocstarConfig(),
         sink=NULL_SINK,
         faults=None,
+        routes=None,
     ) -> None:
         self.topology = topology
         self.config = config
         self.sink = sink
+        #: Bound event emitter, or None when unobserved — the hot send
+        #: paths then skip building the kwargs for a no-op sink call.
+        self._event = sink.event if sink.enabled else None
         self.faults = faults  # Optional[FaultInjector]
+        self.routes = routes  # Optional[RouteCache]
         if faults is not None and (
             faults.router.dead or faults.plan.arbiter_drop_prob > 0.0
         ):
             # Construction-time dispatch: the fault-free hot path stays
             # branch-free and byte-identical to the pre-fault model.
             self.send = self._send_faulty
+        elif routes is not None:
+            # Same dispatch pattern for the route cache: paths and
+            # uncontended traversal durations come from the precomputed
+            # fault-free tables; arbitration stays live.
+            self._cached_path = routes.path
+            self._cached_cycles = routes.nocstar_cycles(config.hpc_max)
+            self.send = self._send_routed
         #: link -> set of cycles during which the link carries data.
         self._occupied: Dict[Link, Set[int]] = {}
         #: link -> cycle from which the link is held (round-trip mode).
@@ -134,10 +148,82 @@ class NocstarInterconnect:
         self.total_setup_retries += retries
         if retries == 0:
             self.uncontended_messages += 1
-        self.sink.event(
-            now, "nocstar_setup",
-            src=src, dst=dst, hops=hops, retries=retries, hold=hold,
+        if self._event is not None:
+            self._event(
+                now, "nocstar_setup",
+                src=src, dst=dst, hops=hops, retries=retries, hold=hold,
+            )
+        return NocstarTraversal(
+            ready=start + duration,
+            hops=hops,
+            setup_retries=retries,
+            traversal_cycles=duration,
+            links=path,
         )
+
+    def _send_routed(
+        self,
+        src: int,
+        dst: int,
+        now: int,
+        speculative_setup: bool = False,
+        hold: bool = False,
+    ) -> NocstarTraversal:
+        """:meth:`send` off the precomputed fault-free route tables.
+
+        Only the pure (src, dst) functions — the XY path and the
+        uncontended traversal duration — come from the cache; the
+        per-cycle link reservations, retries, and round-trip holds run
+        through the exact live arbitration model, so contended sends
+        resolve identically to the uncached path.
+        """
+        self.messages += 1
+        if src == dst:
+            self.local_messages += 1
+            return NocstarTraversal(
+                ready=now, hops=0, setup_retries=0, traversal_cycles=0, links=()
+            )
+        path = self._cached_path(src, dst)
+        hops = len(path)
+        duration = self._cached_cycles[src][dst]
+        earliest = now if speculative_setup else now + 1
+        start = earliest
+        occupancy = self._occupied
+        if self._held:
+            while not self._path_free(path, start, duration):
+                start += 1
+        else:
+            # Inlined _path_free for the dominant one-way case: no held
+            # links to police, so the free test is pure occupancy.
+            while True:
+                span = range(start, start + duration)
+                for link in path:
+                    occupied = occupancy.get(link)
+                    if occupied and not occupied.isdisjoint(span):
+                        break
+                else:
+                    break
+                start += 1
+        retries = start - earliest
+        span = range(start, start + duration)
+        if hold:
+            held = self._held
+            for link in path:
+                occupancy.setdefault(link, set()).update(span)
+                held[link] = start + duration
+        else:
+            for link in path:
+                occupancy.setdefault(link, set()).update(span)
+        self.control_requests += hops * (retries + 1)
+        self.total_hops += hops
+        self.total_setup_retries += retries
+        if retries == 0:
+            self.uncontended_messages += 1
+        if self._event is not None:
+            self._event(
+                now, "nocstar_setup",
+                src=src, dst=dst, hops=hops, retries=retries, hold=hold,
+            )
         return NocstarTraversal(
             ready=start + duration,
             hops=hops,
@@ -264,15 +350,25 @@ class NocstarInterconnect:
         yet known).
         """
         cycles = range(start, start + duration)
+        held = self._held
+        occupancy = self._occupied
+        if held:
+            for link in path:
+                held_from = held.get(link)
+                if held_from is not None and start + duration > held_from:
+                    raise RuntimeError(
+                        f"link {link} is held by an unreleased round-trip "
+                        "acquisition; release() it before arbitrating again"
+                    )
+                occupied = occupancy.get(link)
+                if occupied and not occupied.isdisjoint(cycles):
+                    return False
+            return True
+        # One-way acquisition never holds links; skip the per-link
+        # held-map probes on this (dominant) path.
         for link in path:
-            held_from = self._held.get(link)
-            if held_from is not None and start + duration > held_from:
-                raise RuntimeError(
-                    f"link {link} is held by an unreleased round-trip "
-                    "acquisition; release() it before arbitrating again"
-                )
-            occupied = self._occupied.get(link)
-            if occupied and any(cycle in occupied for cycle in cycles):
+            occupied = occupancy.get(link)
+            if occupied and not occupied.isdisjoint(cycles):
                 return False
         return True
 

@@ -13,6 +13,11 @@ from repro.noc.latency import (
 from repro.noc.bus import BusNetwork
 from repro.noc.fbfly import FlattenedButterfly
 from repro.noc.mesh import ContendedMesh, ContentionFreeMesh, Traversal
+from repro.noc.route_cache import (
+    RouteCache,
+    reference_mode,
+    shared_route_cache,
+)
 from repro.noc.smart import SmartNetwork
 from repro.noc.synthetic import (
     TrafficResult,
@@ -36,6 +41,9 @@ __all__ = [
     "ContendedMesh",
     "ContentionFreeMesh",
     "Traversal",
+    "RouteCache",
+    "reference_mode",
+    "shared_route_cache",
     "SmartNetwork",
     "TrafficResult",
     "run_mesh_traffic",

@@ -12,17 +12,20 @@ Two flavours:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, NamedTuple, Tuple
 
 from repro.faults.routing import UnreachableError
 from repro.noc.topology import Link, MeshTopology
 from repro.obs import NULL_SINK
 
 
-@dataclass(frozen=True)
-class Traversal:
-    """Outcome of sending one message."""
+class Traversal(NamedTuple):
+    """Outcome of sending one message.
+
+    A NamedTuple rather than a dataclass: one is built per message on
+    the simulator's hottest paths, and tuple construction is several
+    times cheaper than a frozen dataclass ``__init__``.
+    """
 
     arrival: int
     hops: int
@@ -40,12 +43,14 @@ class ContentionFreeMesh:
         wire_cycles: int = 1,
         sink=NULL_SINK,
         faults=None,
+        routes=None,
     ) -> None:
         self.topology = topology
         self.router_cycles = router_cycles
         self.wire_cycles = wire_cycles
         self.cycles_per_hop = router_cycles + wire_cycles
         self.faults = faults  # Optional[FaultInjector]
+        self.routes = routes  # Optional[RouteCache]
         self.messages = 0
         self.total_hops = 0
         #: link -> messages carried; populated only when observed.
@@ -53,11 +58,16 @@ class ContentionFreeMesh:
         if faults is not None and faults.router.dead:
             # Fault-aware routing subsumes observation: the detour path
             # must be computed anyway, so links are always accounted.
+            # Dead links also invalidate the fault-free route cache.
             self.send = self._send_fault_routed  # type: ignore[method-assign]
         elif sink.enabled:
             # Construction-time dispatch, not per-send branching: the
             # unobserved send never pays for XY path computation.
             self.send = self._send_observed  # type: ignore[method-assign]
+        elif routes is not None:
+            self._hops = routes.hops
+            self._latency = routes.mesh_latency(self.cycles_per_hop)
+            self.send = self._send_cached  # type: ignore[method-assign]
 
     def send(self, src: int, dst: int, now: int) -> Traversal:
         hops = self.topology.hops(src, dst)
@@ -65,10 +75,21 @@ class ContentionFreeMesh:
         self.total_hops += hops
         return Traversal(arrival=now + hops * self.cycles_per_hop, hops=hops)
 
+    def _send_cached(self, src: int, dst: int, now: int) -> Traversal:
+        """send() off the precomputed fault-free hop/latency tables."""
+        hops = self._hops[src][dst]
+        self.messages += 1
+        self.total_hops += hops
+        return Traversal(arrival=now + self._latency[src][dst], hops=hops)
+
     def _send_observed(self, src: int, dst: int, now: int) -> Traversal:
         """send() plus per-link accounting; timing is identical (the XY
         path length equals the Manhattan hop count)."""
-        path = self.topology.xy_path(src, dst)
+        routes = self.routes
+        if routes is not None:
+            path = routes.path(src, dst)
+        else:
+            path = self.topology.xy_path(src, dst)
         for link in path:
             self.link_traversals[link] = self.link_traversals.get(link, 0) + 1
         self.messages += 1

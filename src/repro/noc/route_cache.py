@@ -1,0 +1,108 @@
+"""Precomputed fault-free route tables for the TLB interconnects.
+
+Fault-free, contention-free path properties are pure functions of
+``(src, dst, topology)`` — the structure analytical NoC models exploit
+(Mandal et al.'s priority-class models, and bufferless GPU-scale
+simulators alike).  The discrete-event models in this package
+recomputed them on every send: ``xy_path`` walks the grid per message,
+``hops`` re-derives coordinates, and NOCSTAR's segment count is a
+division that never changes for a pair.  A :class:`RouteCache`
+precomputes all of it once per topology:
+
+* ``hops`` — the full N x N Manhattan-distance table, built eagerly;
+* derived latency tables (``mesh_latency`` per cycles-per-hop,
+  ``nocstar_cycles`` per HPCmax), memoised per parameterisation;
+* XY link paths, memoised per (src, dst) on first use — eager path
+  tables would cost O(N^2 * diameter) tuples up front, which the large
+  scalability sweeps never fully touch.
+
+The cache holds **fault-free** routes only.  Consumers dispatch at
+construction time (mirroring the obs/faults pattern): a network built
+with dead links routes through its :class:`~repro.faults.routing.
+FaultAwareRouter` and never consults the cache, and contended sends
+fall through to the live reservation model untouched — the cache
+supplies the path and the uncontended duration, never the arbitration
+outcome.
+
+``REPRO_REFERENCE_ENGINE=1`` disables the cache (and the engine's
+batched fast path, see :mod:`repro.sim.engine`): the reference
+configuration recomputes every route live, which is what the
+differential harness compares bit-for-bit against the cached fast
+path.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.noc.topology import Link, MeshTopology
+
+#: Environment switch selecting the unbatched, uncached reference
+#: engine.  Read at use time (not import time) so tests can flip it
+#: per run; empty and "0" mean "off".
+REFERENCE_ENV = "REPRO_REFERENCE_ENGINE"
+
+
+def reference_mode() -> bool:
+    """True when the reference (unbatched, uncached) engine is forced."""
+    return os.environ.get(REFERENCE_ENV, "") not in ("", "0")
+
+
+class RouteCache:
+    """Fault-free per-(src, dst) route/latency tables for one topology."""
+
+    def __init__(self, topology: MeshTopology) -> None:
+        self.topology = topology
+        n = topology.num_tiles
+        self.num_tiles = n
+        cols = topology.cols
+        #: hops[src][dst] — Manhattan distance table (eager: N^2 ints).
+        xs = [t % cols for t in range(n)]
+        ys = [t // cols for t in range(n)]
+        self.hops: List[List[int]] = [
+            [abs(xs[s] - xs[d]) + abs(ys[s] - ys[d]) for d in range(n)]
+            for s in range(n)
+        ]
+        self._paths: Dict[Tuple[int, int], Tuple[Link, ...]] = {}
+        self._mesh_latency: Dict[int, List[List[int]]] = {}
+        self._nocstar_cycles: Dict[int, List[List[int]]] = {}
+
+    def path(self, src: int, dst: int) -> Tuple[Link, ...]:
+        """The XY link path ``src -> dst`` (memoised)."""
+        key = (src, dst)
+        cached = self._paths.get(key)
+        if cached is None:
+            cached = tuple(self.topology.xy_path(src, dst))
+            self._paths[key] = cached
+        return cached
+
+    def mesh_latency(self, cycles_per_hop: int) -> List[List[int]]:
+        """``hops * cycles_per_hop`` table (the contention-free mesh)."""
+        table = self._mesh_latency.get(cycles_per_hop)
+        if table is None:
+            table = [[h * cycles_per_hop for h in row] for row in self.hops]
+            self._mesh_latency[cycles_per_hop] = table
+        return table
+
+    def nocstar_cycles(self, hpc_max: int) -> List[List[int]]:
+        """Uncontended data-traversal cycles: ``ceil(hops / HPCmax)``."""
+        table = self._nocstar_cycles.get(hpc_max)
+        if table is None:
+            table = [[-(-h // hpc_max) if h else 0 for h in row]
+                     for row in self.hops]
+            self._nocstar_cycles[hpc_max] = table
+        return table
+
+
+@lru_cache(maxsize=16)
+def shared_route_cache(num_tiles: int) -> RouteCache:
+    """Process-wide :class:`RouteCache` per tile count.
+
+    The cache is immutable-by-convention (path memoisation only ever
+    adds identical entries), so every System of the same size — across
+    runs, lineups, and pool workers — shares one instance and one set
+    of precomputed tables.
+    """
+    return RouteCache(MeshTopology(num_tiles))

@@ -26,21 +26,33 @@ class SmartNetwork:
 
     def __init__(
         self, topology: MeshTopology, hpc_max: int = 8, sink=NULL_SINK,
-        faults=None,
+        faults=None, routes=None,
     ) -> None:
         if hpc_max < 1:
             raise ValueError("HPCmax must be at least 1")
         self.topology = topology
         self.hpc_max = hpc_max
         self.sink = sink
+        #: Bound event emitter, or None when unobserved — send() then
+        #: skips building the kwargs for a no-op sink call.
+        self._event = sink.event if sink.enabled else None
         self.faults = faults  # Optional[FaultInjector]
+        self.routes = routes  # Optional[RouteCache]
         if faults is not None and faults.router.dead:
+            # Dead links invalidate the fault-free route cache: every
+            # send routes through the FaultAwareRouter instead.
             self._route = self._fault_route
+        elif routes is not None:
+            self._route = routes.path
         else:
             self._route = topology.xy_path
         #: link -> cycles during which it carries a flit (per-cycle
         #: occupancy; see the reservation note in repro.core.nocstar).
-        self._occupied: Dict[Link, set] = {}
+        #: Pre-populated with every topology link so the hot send loop
+        #: can use plain indexing (no setdefault, no None checks).
+        self._occupied: Dict[Link, set] = {
+            link: set() for link in topology.all_links()
+        }
         self.messages = 0
         self.total_hops = 0
         self.premature_stops = 0
@@ -48,7 +60,11 @@ class SmartNetwork:
 
     def link_busy_cycles(self) -> Dict[Link, int]:
         """Cycles each link carried a flit (utilization numerator)."""
-        return {link: len(cycles) for link, cycles in self._occupied.items()}
+        return {
+            link: len(cycles)
+            for link, cycles in self._occupied.items()
+            if cycles
+        }
 
     def _free(self, link: Link, cycle: int) -> bool:
         occupied = self._occupied.get(link)
@@ -76,33 +92,50 @@ class SmartNetwork:
         queued = 0
         stops = 0
         index = 0
-        while index < len(path):
-            segment = path[index : index + self.hpc_max]
-            # The bypass extends as far as contiguous free links allow.
+        occupancy = self._occupied
+        hpc = self.hpc_max
+        npath = len(path)
+        while index < npath:
+            end = index + hpc
+            if end >= npath:
+                end = npath
+                # Whole remainder in one segment: skip the slice copy
+                # (and the path itself when it fits in one bypass).
+                segment = path if index == 0 else path[index:]
+            else:
+                segment = path[index:end]
+            # The bypass extends as far as contiguous free links allow;
+            # advanced links are reserved as the scan passes them (they
+            # are traversed this cycle even on a premature stop), so
+            # check and reservation share one loop — the model's
+            # innermost.
             advanced = 0
             for link in segment:
-                if not self._free(link, t):
+                occupied = occupancy[link]
+                if t in occupied:
                     break
+                occupied.add(t)
                 advanced += 1
             if advanced == 0:
                 # Blocked at the router: retry the next cycle.
                 queued += 1
                 t += 1
                 continue
-            for link in segment[:advanced]:
-                self._occupied.setdefault(link, set()).add(t)
             t += 1  # the bypass segment crosses in one cycle
-            index += advanced
-            if advanced < len(segment):
+            if advanced == end - index:
+                index = end
+            else:
+                index += advanced
                 # Premature stop: latched at an intermediate router.
                 stops += 1
                 t += 1  # router traversal + re-arbitration
         self.premature_stops += stops
         self.total_queue_cycles += queued
-        self.sink.event(
-            now, "smart_setup",
-            src=src, dst=dst, hops=len(path), stops=stops, queued=queued,
-        )
+        if self._event is not None:
+            self._event(
+                now, "smart_setup",
+                src=src, dst=dst, hops=len(path), stops=stops, queued=queued,
+            )
         return Traversal(
             arrival=t, hops=len(path), queue_cycles=queued, links=tuple(path)
         )

@@ -8,6 +8,21 @@ re-enters the heap at its resume time.  The quantum bounds how far a
 core's resource reservations can run ahead of the global frontier (see
 DESIGN.md, simulator notes).
 
+Two drive loops produce bit-identical results:
+
+* the **batched fast path** (default): absent storms and shootdowns,
+  nothing outside a core ever touches its L1 TLBs, so each core's
+  L1 hit/miss sequence is a pure function of its merged trace stream.
+  A pre-pass replays every stream through the real L1 arrays once,
+  compiling it into cycle prefix sums plus the exact miss positions;
+  the drive loop then advances whole guaranteed-hit segments per heap
+  pop with one bisect instead of one Python iteration per record.
+* the **reference loop** (``REPRO_REFERENCE_ENGINE=1``, and any run
+  with storms or shootdowns — they invalidate L1 entries externally):
+  the original record-at-a-time loop, kept verbatim.  The differential
+  test harness proves both paths byte-identical, which is why
+  ``ENGINE_VERSION`` did not change for the fast path.
+
 Optional pathological traffic (§V) is injected at the global frontier:
 *storms* (context-switch flushes plus superpage-promotion invalidation
 bursts) and steady *shootdown* traffic for the invalidation-policy
@@ -17,10 +32,13 @@ study.
 from __future__ import annotations
 
 import heapq
+import weakref
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.faults.models import FaultPlan, FaultSpec, derive_seed
+from repro.noc.route_cache import reference_mode
 from repro.obs import NULL_SINK, EventTrace, MetricsSink
 from repro.sim import configs as cfg
 from repro.sim.results import RunResult
@@ -216,8 +234,60 @@ def simulate(
     system = System(
         config, record_intervals=record_intervals, sink=sink, faults=faults
     )
-    states = [_CoreState(workload.core_streams(c)) for c in range(config.num_cores)]
-    heap: List[Tuple[int, int]] = [(0, core) for core in range(config.num_cores)]
+    if storm is None and shootdown is None and not reference_mode():
+        # Batched fast path: with no external L1 invalidations the hit/
+        # miss sequence is stream-determined, so hit runs advance in one
+        # bisect per heap pop.  Bit-identical to the reference loop (the
+        # differential harness is the proof), so ENGINE_VERSION stays.
+        finishes = _drive_batched(
+            system, workload, quantum, sink, watchdog_cycles
+        )
+    else:
+        finishes = _drive_reference(
+            system, workload, quantum, storm, shootdown, sink,
+            watchdog_cycles,
+        )
+    cycles = max(finishes)
+    system.finalize_stats()
+    system.finalize_metrics(cycles)
+    app_cycles = {}
+    for app, cores in workload.info.get("apps", {}).items():
+        app_cycles[app] = sum(finishes[c] for c in cores) / len(cores)
+    return RunResult(
+        config_name=config.name,
+        workload_name=workload.name,
+        cycles=cycles,
+        per_core_cycles=finishes,
+        stats=system.stats,
+        energy=system.energy_summary(cycles),
+        network=system.network_summary(),
+        walk_levels=system.walk_level_summary(),
+        intervals=system.intervals if record_intervals else None,
+        app_cycles=app_cycles,
+        metrics=sink.registry.snapshot() if sink.enabled else None,
+        trace=event_trace.to_records() if event_trace is not None else None,
+        faults=system.fault_summary(),
+    )
+
+
+def _drive_reference(
+    system: System,
+    workload: Workload,
+    quantum: int,
+    storm: Optional[StormConfig],
+    shootdown: Optional[ShootdownTraffic],
+    sink,
+    watchdog_cycles: Optional[int],
+) -> List[int]:
+    """The original record-at-a-time drive loop (kept verbatim).
+
+    Always used for storm/shootdown runs (external L1 invalidations
+    break the fast path's precompiled hit/miss sequence) and forced via
+    ``REPRO_REFERENCE_ENGINE=1`` as the differential-testing baseline.
+    """
+    num_cores = system.config.num_cores
+    states = [_CoreState(workload.core_streams(c)) for c in range(num_cores)]
+    heap: List[Tuple[int, int]] = [(0, core) for core in range(num_cores)]
     heapq.heapify(heap)
 
     next_storm = storm.period if storm else None
@@ -276,28 +346,254 @@ def simulate(
         if not resumed:
             heapq.heappush(heap, (t, core))
 
-    finishes = [state.finish or 0 for state in states]
-    cycles = max(finishes)
-    system.finalize_stats()
-    system.finalize_metrics(cycles)
-    app_cycles = {}
-    for app, cores in workload.info.get("apps", {}).items():
-        app_cycles[app] = sum(finishes[c] for c in cores) / len(cores)
-    return RunResult(
-        config_name=config.name,
-        workload_name=workload.name,
-        cycles=cycles,
-        per_core_cycles=finishes,
-        stats=system.stats,
-        energy=system.energy_summary(cycles),
-        network=system.network_summary(),
-        walk_levels=system.walk_level_summary(),
-        intervals=system.intervals if record_intervals else None,
-        app_cycles=app_cycles,
-        metrics=sink.registry.snapshot() if sink.enabled else None,
-        trace=event_trace.to_records() if event_trace is not None else None,
-        faults=system.fault_summary(),
+    return [state.finish or 0 for state in states]
+
+
+class _CompiledCore:
+    """One core's trace compiled into hit-run segments.
+
+    ``prefix[i]`` is the cycle cost of the first ``i`` records (each
+    record costs ``gap + 1``), so advancing from record ``a`` to ``b``
+    costs ``prefix[b] - prefix[a]``.  ``miss_pos``/``miss_rec`` hold the
+    positions and payloads of the records that miss the L1 — everything
+    between consecutive misses is a guaranteed-hit run.
+    """
+
+    __slots__ = ("prefix", "miss_pos", "miss_rec", "count", "pos", "mi",
+                 "finish")
+
+    def __init__(self, prefix, miss_pos, miss_rec) -> None:
+        self.prefix = prefix
+        self.miss_pos = miss_pos
+        self.miss_rec = miss_rec
+        self.count = len(prefix) - 1
+        self.pos = 0  # next record index
+        self.mi = 0  # next miss index
+        self.finish: Optional[int] = None
+
+
+def _merged_stream(streams):
+    """The core's SMT streams merged in ``_CoreState.next_record`` order.
+
+    The round-robin interleave is statically deterministic (it depends
+    only on stream lengths, never on timing), so it can be materialised
+    up front.
+    """
+    if len(streams) == 1:
+        return streams[0]
+    merged = []
+    positions = [0] * len(streams)
+    n = len(streams)
+    rr = 0
+    remaining = sum(len(s) for s in streams)
+    append = merged.append
+    while remaining:
+        s = rr % n
+        rr += 1
+        pos = positions[s]
+        if pos < len(streams[s]):
+            positions[s] = pos + 1
+            append(streams[s][pos])
+            remaining -= 1
+    return merged
+
+
+def _compile_core(streams, arrays) -> _CompiledCore:
+    """Replay one core's merged stream through its real L1 arrays.
+
+    The replay performs exactly the lookup/insert sequence the
+    reference loop would (one lookup per record, insert on miss), so
+    the arrays end the pre-pass in the same state — same hit/miss/
+    eviction counters, same LRU order — as after an unbatched run.
+    Valid only while nothing else touches the L1s mid-run, which is the
+    batched mode's gate (no storms, no shootdowns).
+    """
+    merged = _merged_stream(streams)
+    prefix = [0] * (len(merged) + 1)
+    miss_pos: List[int] = []
+    miss_rec: List[Tuple[int, int, int]] = []
+    add_pos = miss_pos.append
+    add_rec = miss_rec.append
+    # The probe below is SetAssociativeTLB.lookup inlined (this is the
+    # hottest loop of a batched run: one probe per trace record), with
+    # the hit/miss counters accumulated locally and folded back in bulk
+    # — nothing reads them mid-run.  Misses are rare, so insert() stays
+    # a method call.  Must mirror lookup() exactly.
+    per_size = {
+        size: (array._sets, array.index_shift, array.num_sets, [0, 0])
+        for size, array in arrays.items()
+    }
+    acc = 0
+    i = 0
+    # Streams are long runs of one page size, so the per-size bindings
+    # are re-fetched only on a size switch.
+    last_size = None
+    sets = shift = num_sets = counts = None
+    for gap, asid, size, page_number in merged:
+        acc += gap + 1
+        i += 1
+        prefix[i] = acc
+        if size != last_size:
+            sets, shift, num_sets, counts = per_size[size]
+            last_size = size
+        cache_set = sets[(page_number >> shift) % num_sets]
+        key = (asid, size, page_number)
+        if key in cache_set:
+            cache_set.move_to_end(key)
+            counts[0] += 1
+            continue
+        counts[1] += 1
+        add_pos(i - 1)
+        add_rec(key)
+        arrays[size].insert(asid, size, page_number)
+    for size, (_, _, _, counts) in per_size.items():
+        arrays[size].hits += counts[0]
+        arrays[size].misses += counts[1]
+    return _CompiledCore(prefix, miss_pos, miss_rec)
+
+
+#: Compiled cores memoised per live Workload object (keyed by id, with
+#: a weakref guard against id reuse).  The compile pre-pass is a pure
+#: function of (streams, L1 geometry), so lineups and repeat runs that
+#: share one workload build pay it once per core instead of once per
+#: System.
+_COMPILE_CACHE: Dict[int, Tuple[object, Dict]] = {}
+
+_COUNTERS = ("hits", "misses", "insertions", "evictions")
+
+
+def _compile_cache_for(workload) -> Dict:
+    wid = id(workload)
+    entry = _COMPILE_CACHE.get(wid)
+    if entry is None or entry[0]() is not workload:
+        ref = weakref.ref(
+            workload, lambda _, wid=wid: _COMPILE_CACHE.pop(wid, None)
+        )
+        entry = (ref, {})
+        _COMPILE_CACHE[wid] = entry
+    return entry[1]
+
+
+def _compile_core_cached(workload, core: int, arrays) -> _CompiledCore:
+    """Memoising wrapper around :func:`_compile_core`.
+
+    A cache hit replays only the counter deltas (hits/misses/
+    insertions/evictions); the array *contents* are left empty, which
+    is sound because nothing downstream of the drive loop reads L1
+    entries — only counters (and batched mode guarantees no storms or
+    shootdowns ever probe them mid-run).
+    """
+    cache = _compile_cache_for(workload)
+    key = (core,) + tuple(
+        sorted(
+            (size, a.entries, a.ways, a.index_shift)
+            for size, a in arrays.items()
+        )
     )
+    hit = cache.get(key)
+    if hit is not None:
+        prefix, miss_pos, miss_rec, deltas = hit
+        for size, delta in deltas:
+            array = arrays[size]
+            for name, value in zip(_COUNTERS, delta):
+                setattr(array, name, getattr(array, name) + value)
+        return _CompiledCore(prefix, miss_pos, miss_rec)
+    before = {
+        size: [getattr(a, name) for name in _COUNTERS]
+        for size, a in arrays.items()
+    }
+    cc = _compile_core(workload.core_streams(core), arrays)
+    deltas = tuple(
+        (
+            size,
+            tuple(
+                getattr(a, name) - old
+                for name, old in zip(_COUNTERS, before[size])
+            ),
+        )
+        for size, a in arrays.items()
+    )
+    cache[key] = (cc.prefix, cc.miss_pos, cc.miss_rec, deltas)
+    return cc
+
+
+def _drive_batched(
+    system: System,
+    workload: Workload,
+    quantum: int,
+    sink,
+    watchdog_cycles: Optional[int],
+) -> List[int]:
+    """Segment-batched drive loop; bit-identical to the reference loop.
+
+    Per heap pop, one ``bisect_left`` finds how far the core runs
+    before its quantum expires (``cut``); comparing that against the
+    next precompiled miss position decides the outcome.  The loop-top
+    guard of the reference loop (``while t < deadline``) admits record
+    ``q`` iff ``prefix[q] < prefix[pos] + quantum``, so the three cases
+    below reproduce its push/finish times — and therefore its heap-pop
+    order, its ``l2_transaction`` times, and its pending-penalty
+    application points — exactly.
+    """
+    num_cores = system.config.num_cores
+    compiled = [
+        _compile_core_cached(
+            workload, core, {size: l1.array(size) for size in l1._arrays}
+        )
+        for core, l1 in enumerate(system.l1s)
+    ]
+    heap: List[Tuple[int, int]] = [(0, core) for core in range(num_cores)]
+    heapq.heapify(heap)
+    pending = system.pending_penalty
+    l2_transaction = system.l2_transaction
+    observed = sink.enabled
+
+    while heap:
+        t, core = heapq.heappop(heap)
+        if watchdog_cycles is not None and t > watchdog_cycles:
+            raise WatchdogExpired(
+                f"core {core} resumed at cycle {t}, past the "
+                f"{watchdog_cycles}-cycle watchdog"
+            )
+        cc = compiled[core]
+        if pending[core]:
+            t += pending[core]
+            pending[core] = 0
+        prefix = cc.prefix
+        pos = cc.pos
+        base = prefix[pos]
+        limit = base + quantum
+        count = cc.count
+        mi = cc.mi
+        miss = cc.miss_pos[mi] if mi < len(cc.miss_pos) else None
+        # First record position whose loop-top check would fail.
+        cut = bisect_left(prefix, limit, pos, count + 1)
+        if miss is not None and miss < cut:
+            # The quantum reaches the next L1 miss: resolve it at the
+            # exact cycle the reference loop would (hit run + the miss
+            # record's own gap+1).
+            t_miss = t + prefix[miss + 1] - base
+            asid, size, page_number = cc.miss_rec[mi]
+            if observed:
+                sink.event(t_miss, "l1_lookup", core=core, hit=False)
+            stall = l2_transaction(core, asid, size, page_number, t_miss)
+            if observed:
+                sink.observe("translation.stall_cycles", stall)
+            cc.pos = miss + 1
+            cc.mi = mi + 1
+            heapq.heappush(heap, (t_miss + stall, core))
+        elif cut == count + 1:
+            # Stream drained inside the quantum: all remaining records
+            # are hits; the core finishes and leaves the heap.
+            cc.pos = count
+            cc.finish = t + prefix[count] - base
+        else:
+            # Quantum expiry mid-run: advance the whole admitted hit
+            # segment and re-enter the heap at the expiry time.
+            cc.pos = cut
+            heapq.heappush(heap, (t + prefix[cut] - base, core))
+
+    return [cc.finish or 0 for cc in compiled]
 
 
 def _apply_storm(

@@ -32,6 +32,7 @@ from repro.mem.cache import CacheHierarchy
 from repro.noc.bus import BusNetwork
 from repro.noc.fbfly import FlattenedButterfly
 from repro.noc.mesh import ContentionFreeMesh
+from repro.noc.route_cache import reference_mode, shared_route_cache
 from repro.noc.smart import SmartNetwork
 from repro.noc.topology import MeshTopology
 from repro.obs import NULL_SINK
@@ -73,6 +74,11 @@ class System:
         self.config = config
         n = config.num_cores
         self.topology = MeshTopology(n)
+        #: Precomputed fault-free route/latency tables, shared across
+        #: systems of the same size.  None under the reference engine
+        #: (REPRO_REFERENCE_ENGINE=1), which recomputes routes live —
+        #: the differential harness proves both modes bit-identical.
+        self.routes = None if reference_mode() else shared_route_cache(n)
         #: Runtime fault state; None keeps every component on its exact
         #: fault-free code path (an empty plan is normalised to None by
         #: the engine, so rate-0 runs are bit-identical to plain runs).
@@ -90,6 +96,9 @@ class System:
         self.intervals: List[Tuple[int, int, int]] = []
         self.timeline = timeline
         self.sink = sink
+        #: Bound event emitter, or None when unobserved — hot paths
+        #: then skip building kwargs for a no-op sink call.
+        self._event = sink.event if sink.enabled else None
         self.stats = TlbStats()
 
         # --- L2 organisation -------------------------------------------
@@ -114,13 +123,14 @@ class System:
                 self.l2_lookup_cycles = self.shared_l2.lookup_cycles
             if config.interconnect == cfg.MESH:
                 self.network = ContentionFreeMesh(
-                    self.topology, sink=sink, faults=self.faults
+                    self.topology, sink=sink, faults=self.faults,
+                    routes=self.routes,
                 )
                 self._network_fault_aware = True
             elif config.interconnect == cfg.SMART:
                 self.network = SmartNetwork(
                     self.topology, config.smart_hpc, sink=sink,
-                    faults=self.faults,
+                    faults=self.faults, routes=self.routes,
                 )
                 self._network_fault_aware = True
         else:  # distributed / nocstar / ideal
@@ -140,7 +150,8 @@ class System:
                     )
                 else:
                     self.network = ContentionFreeMesh(
-                        self.topology, sink=sink, faults=self.faults
+                        self.topology, sink=sink, faults=self.faults,
+                        routes=self.routes,
                     )
                     self._network_fault_aware = True
             elif scheme == cfg.NOCSTAR:
@@ -149,9 +160,27 @@ class System:
                 net_faults = None if config.nocstar_ideal else self.faults
                 self.network = NocstarInterconnect(
                     self.topology, config.nocstar, sink=sink,
-                    faults=net_faults,
+                    faults=net_faults, routes=self.routes,
                 )
                 self._network_fault_aware = not config.nocstar_ideal
+
+        # Scheme predicates, precomputed: the transaction hot paths
+        # test them per message.
+        self._is_monolithic = scheme == cfg.MONOLITHIC
+        self._is_nocstar = isinstance(self.network, NocstarInterconnect)
+
+        # Cached tables used by System itself (ideal-NOCSTAR timing and
+        # shootdown delivery both reduce to pure hop-count formulas).
+        self._hops_table = self.routes.hops if self.routes is not None else None
+        self._ideal_cycles = None
+        if (
+            scheme == cfg.NOCSTAR
+            and config.nocstar_ideal
+            and self.routes is not None
+        ):
+            self._ideal_cycles = self.routes.nocstar_cycles(
+                config.nocstar.hpc_max
+            )
 
         # --- Walkers ------------------------------------------------------
         self.page_table = PageTable()
@@ -198,7 +227,12 @@ class System:
     def _charge(self, access_cycles: int, walk_cycles: int) -> int:
         """Stall visible to the core: OoO hides part of the *access*
         latency (SRAM + interconnect), never the walk."""
-        return int(access_cycles * self._visible) + walk_cycles
+        visible = self._visible
+        if visible == 1.0:
+            # int(x * 1.0) == x exactly for any cycle count below 2**53,
+            # so the fast path is bit-identical, not an approximation.
+            return access_cycles + walk_cycles
+        return int(access_cycles * visible) + walk_cycles
 
     def _private_transaction(
         self, core: int, asid: int, size: int, page_number: int, now: int
@@ -206,7 +240,10 @@ class System:
         l2 = self.private_l2[core]
         lookup_done = now + self.l2_lookup_cycles
         hit = l2.lookup_page_number(asid, size, page_number)
-        self.sink.event(lookup_done, "l2_lookup", core=core, slice=core, hit=hit)
+        if self._event is not None:
+            self._event(
+                lookup_done, "l2_lookup", core=core, slice=core, hit=hit
+            )
         if hit:
             self.stats.l2_hits += 1
             return self._charge(self.l2_lookup_cycles, 0)
@@ -252,8 +289,12 @@ class System:
         # Request leg.
         if self._is_nocstar:
             if self.config.nocstar_ideal:
-                hops = self.topology.hops(core, dst_tile)
-                dur = self.network.traversal_cycles(hops)
+                if self._ideal_cycles is not None:
+                    hops = self._hops_table[core][dst_tile]
+                    dur = self._ideal_cycles[core][dst_tile]
+                else:
+                    hops = self.topology.hops(core, dst_tile)
+                    dur = self.network.traversal_cycles(hops)
                 arrival = now + (1 + dur if hops else 0)
                 self.network.messages += 1
                 self.network.total_hops += hops
@@ -282,7 +323,10 @@ class System:
             self.timeline.append(("slice-lookup", start, lookup_done))
 
         hit = shared.lookup_page_number(asid, size, page_number, home)
-        self.sink.event(lookup_done, "l2_lookup", core=core, slice=home, hit=hit)
+        if self._event is not None:
+            self._event(
+                lookup_done, "l2_lookup", core=core, slice=home, hit=hit
+            )
         walk_cycles = 0
         if hit:
             self.stats.l2_hits += 1
@@ -329,8 +373,12 @@ class System:
         """Send the response (or miss message) back to the requester."""
         if self._is_nocstar:
             if self.config.nocstar_ideal:
-                hops = self.topology.hops(dst_tile, core)
-                dur = self.network.traversal_cycles(hops)
+                if self._ideal_cycles is not None:
+                    hops = self._hops_table[dst_tile][core]
+                    dur = self._ideal_cycles[dst_tile][core]
+                else:
+                    hops = self.topology.hops(dst_tile, core)
+                    dur = self.network.traversal_cycles(hops)
                 self.network.messages += 1
                 self.network.total_hops += hops
                 self.network.uncontended_messages += 1 if hops else 0
@@ -479,6 +527,8 @@ class System:
         if self.faults is not None:
             arrival = self.faults.shootdown_send(src, dst, now)
             return now if arrival is None else arrival
+        if self._hops_table is not None:
+            return now + 2 * self._hops_table[src][dst] + 1
         return now + 2 * self.topology.hops(src, dst) + 1
 
     def flush_all_tlbs(self) -> None:
@@ -494,14 +544,6 @@ class System:
 
     # ------------------------------------------------------------------
     # Bookkeeping
-
-    @property
-    def _is_monolithic(self) -> bool:
-        return self.config.scheme == cfg.MONOLITHIC
-
-    @property
-    def _is_nocstar(self) -> bool:
-        return isinstance(self.network, NocstarInterconnect)
 
     def static_power_mw(self) -> float:
         config = self.config

@@ -110,9 +110,12 @@ class PageTableWalker:
                 pwc.fill(addr)
         self.walks += 1
         pte = self.page_table.lookup(asid, vpn, page_size)
-        self.sink.observe("walk.latency", latency)
-        self.sink.event(now, "walk_begin", core=core, vpn=vpn)
-        self.sink.event(now + latency, "walk_end", core=core, latency=latency)
+        if self.sink.enabled:
+            self.sink.observe("walk.latency", latency)
+            self.sink.event(now, "walk_begin", core=core, vpn=vpn)
+            self.sink.event(
+                now + latency, "walk_end", core=core, latency=latency
+            )
         return WalkResult(
             latency=latency, pte=pte, levels=tuple(levels), pollution=pollution
         )

@@ -7,46 +7,13 @@ cache-replayed execution, because every stochastic choice flows from
 ``derive_seed`` sub-seeds consumed in the engine's deterministic order.
 """
 
-import json
-
 from repro.exec.cache import unit_key
 from repro.exec.runner import Runner
-from repro.faults.models import ArbiterDrop, FaultSpec, LinkFailure
-from repro.sim import configs as cfg
+from repro.faults.models import FaultSpec, LinkFailure
 from repro.sim.engine import ENGINE_VERSION
-from repro.sim.scenario import Scenario
 
-
-def _scenario(**overrides):
-    base = dict(
-        configurations=(cfg.nocstar(8), cfg.distributed(8)),
-        workloads=("gups", "olio"),
-        accesses_per_core=400,
-        seed=7,
-        baseline_name="nocstar",
-        metrics=True,
-        trace=True,
-        faults=FaultSpec(
-            links=LinkFailure(rate=0.1),
-            arbiter=ArbiterDrop(probability=0.05),
-        ),
-    )
-    base.update(overrides)
-    return Scenario(**base)
-
-
-def _canonical(comparisons):
-    """Byte-stable rendering of every run's observable output."""
-    blob = {}
-    for workload, comparison in sorted(comparisons.items()):
-        for config, result in sorted(comparison.results.items()):
-            blob[f"{config}/{workload}"] = {
-                "cycles": result.cycles,
-                "faults": result.faults,
-                "metrics": result.metrics,
-                "trace": result.trace,
-            }
-    return json.dumps(blob, sort_keys=True)
+from tests._corpus import canonical_comparisons as _canonical
+from tests._corpus import faulty_scenario as _scenario
 
 
 def test_faulty_runs_are_byte_identical_across_strategies(tmp_path):

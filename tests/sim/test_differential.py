@@ -1,0 +1,131 @@
+"""Differential harness: the batched engine vs the reference engine.
+
+The batched fast path (segment-compiled L1 hits + RouteCache tables)
+claims bit-identity with the original drive loop — that claim is what
+let ``ENGINE_VERSION`` stay unchanged.  This suite is the proof: every
+corpus scenario (all interconnects, faults on/off, observability
+on/off, storm/shootdown traffic) must produce byte-identical
+``RunResult`` snapshots and trace exports under both engines, across
+serial, parallel, and cache-replayed execution.
+"""
+
+import pytest
+
+from repro.exec.cache import canonical_json
+from repro.exec.runner import Runner
+from repro.noc.route_cache import REFERENCE_ENV
+from repro.obs import write_obs_jsonl
+from repro.sim import engine
+
+from tests._corpus import (
+    canonical_comparisons,
+    differential_corpus,
+    faulty_scenario,
+)
+
+CORPUS = differential_corpus()
+
+
+def _execute(scenario, monkeypatch, reference):
+    if reference:
+        monkeypatch.setenv(REFERENCE_ENV, "1")
+    else:
+        monkeypatch.delenv(REFERENCE_ENV, raising=False)
+    return scenario.units()[0].execute()
+
+
+@pytest.mark.parametrize(
+    "name,scenario", CORPUS, ids=[name for name, _ in CORPUS]
+)
+def test_engines_byte_identical(name, scenario, monkeypatch, tmp_path):
+    batched = _execute(scenario, monkeypatch, reference=False)
+    reference = _execute(scenario, monkeypatch, reference=True)
+    assert canonical_json(batched) == canonical_json(reference)
+    if scenario.trace:
+        # The exported artefact (runs + events) must match byte for
+        # byte, not just the in-memory snapshot.
+        paths = []
+        for tag, result in (("batched", batched), ("reference", reference)):
+            path = tmp_path / f"{tag}.jsonl"
+            write_obs_jsonl(
+                str(path),
+                [(result.config_name, result.workload_name, result)],
+            )
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+def test_fast_path_engages_and_reference_env_disables_it(monkeypatch):
+    calls = []
+    real = engine._drive_batched
+
+    def spy(*args, **kwargs):
+        calls.append(1)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(engine, "_drive_batched", spy)
+    _, scenario = CORPUS[0]
+    monkeypatch.delenv(REFERENCE_ENV, raising=False)
+    scenario.units()[0].execute()
+    assert calls, "batched fast path never engaged"
+
+    calls.clear()
+    monkeypatch.setenv(REFERENCE_ENV, "1")
+    scenario.units()[0].execute()
+    assert not calls, "REPRO_REFERENCE_ENGINE=1 must force the reference loop"
+
+
+def test_storm_and_shootdown_runs_use_the_reference_loop(monkeypatch):
+    # External L1 invalidations void the precompiled hit/miss sequence,
+    # so these scenarios must take the reference loop even when the
+    # fast path is otherwise enabled.
+    monkeypatch.delenv(REFERENCE_ENV, raising=False)
+    monkeypatch.setattr(
+        engine, "_drive_batched",
+        lambda *a, **k: pytest.fail("batched path used under storms"),
+    )
+    by_name = dict(CORPUS)
+    by_name["nocstar-storm"].units()[0].execute()
+    by_name["distributed-shootdown"].units()[0].execute()
+
+
+def test_runner_strategies_agree_across_engines(monkeypatch):
+    scenario = faulty_scenario()
+    monkeypatch.delenv(REFERENCE_ENV, raising=False)
+    outputs = [
+        canonical_comparisons(Runner(jobs=1, cache_dir=None).run(scenario)),
+        canonical_comparisons(Runner(jobs=4, cache_dir=None).run(scenario)),
+    ]
+    # Pool workers are forked, so they inherit the reference switch.
+    monkeypatch.setenv(REFERENCE_ENV, "1")
+    outputs.append(
+        canonical_comparisons(Runner(jobs=1, cache_dir=None).run(scenario))
+    )
+    outputs.append(
+        canonical_comparisons(Runner(jobs=4, cache_dir=None).run(scenario))
+    )
+    assert len(set(outputs)) == 1
+
+
+def test_reference_cache_replays_into_batched_engine(monkeypatch, tmp_path):
+    # ENGINE_VERSION deliberately did not change for the fast path, so
+    # results cached by the reference engine replay as hits under the
+    # batched engine — and they had better be the same bytes.
+    scenario = faulty_scenario()
+    cache_dir = str(tmp_path / "cache")
+    monkeypatch.setenv(REFERENCE_ENV, "1")
+    cold = Runner(jobs=1, cache_dir=cache_dir)
+    reference = cold.run(scenario)
+    assert cold.stats == {"hits": 0, "misses": 4}
+
+    monkeypatch.delenv(REFERENCE_ENV, raising=False)
+    warm = Runner(jobs=1, cache_dir=cache_dir)
+    replayed = warm.run(scenario)
+    assert warm.stats == {"hits": 4, "misses": 0}
+
+    fresh = canonical_comparisons(Runner(jobs=1, cache_dir=None).run(scenario))
+    assert (
+        canonical_comparisons(reference)
+        == canonical_comparisons(replayed)
+        == fresh
+    )

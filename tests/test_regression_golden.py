@@ -46,6 +46,31 @@ def test_golden(workload, name, cycles, misses):
     assert result.stats.l2_misses == misses
 
 
+# 64-core pins: the scale the batched engine and RouteCache target.
+# Derived with the same helper; both engines must reproduce them (the
+# differential suite proves batched == reference, these prove neither
+# drifts from history).
+GOLDEN_64 = [
+    ("distributed", 20941, 5067),
+    ("monolithic-smart", 21803, 5067),
+    ("nocstar", 18656, 5067),
+]
+
+
+@pytest.fixture(scope="module")
+def workload_64():
+    return build_multithreaded(
+        get_workload("graph500"), 64, accesses_per_core=1000, seed=21
+    )
+
+
+@pytest.mark.parametrize("name,cycles,misses", GOLDEN_64)
+def test_golden_64_cores(workload_64, name, cycles, misses):
+    result = simulate(cfg.build_config(name, 64), workload_64)
+    assert result.cycles == cycles
+    assert result.stats.l2_misses == misses
+
+
 def test_goldens_are_internally_consistent():
     names = [g[0] for g in GOLDEN]
     cycles = {g[0]: g[1] for g in GOLDEN}
