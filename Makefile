@@ -5,8 +5,8 @@ RUN = PYTHONPATH=src $(PYTHON)
 CACHE_DIR ?= .repro-cache
 
 .PHONY: install test smoke report-smoke faults-smoke bench-engine-smoke \
-        verify bench bench-full bench-faults examples calibrate \
-        cache-clean clean
+        bench-sweep-smoke verify bench bench-full bench-faults examples \
+        calibrate cache-clean clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -44,9 +44,16 @@ faults-smoke:
 bench-engine-smoke:
 	$(RUN) benchmarks/bench_engine.py
 
+# Sweep data-plane smoke: the perf guard (warm TraceStore fan-out must
+# beat store-less jobs=4 dispatch by >= 2x on the 4-config x 3-workload
+# sweep, bit-identically) plus the BENCH_sweep.json artefact.
+bench-sweep-smoke:
+	$(RUN) benchmarks/bench_sweep.py
+
 # The full local gate: tests plus the parallel, observability,
-# fault-injection, and engine fast-path smokes.
-verify: test smoke report-smoke faults-smoke bench-engine-smoke
+# fault-injection, engine fast-path, and sweep data-plane smokes.
+verify: test smoke report-smoke faults-smoke bench-engine-smoke \
+        bench-sweep-smoke
 
 bench:
 	$(RUN) -m pytest benchmarks/ --benchmark-only

@@ -17,7 +17,10 @@ Commands:
 * ``faults``     — fault-injection degradation sweep: simulate one
   configuration under increasing fault rates (failed links, transient
   arbiter drops, dead slices) and print the speedup-vs-fault-rate
-  curve with drop/fallback/degradation counters.
+  curve with drop/fallback/degradation counters;
+* ``cache``      — inspect (``stats``), wipe (``clear``), or shrink
+  (``evict --max-bytes N``) the content-addressed result cache and the
+  materialized trace-artifact store.
 
 Note on flag names: ``run --trace PATH`` *loads* an ``.npz`` input
 trace; the event-trace *output* flag is therefore ``--trace-out``.
@@ -26,7 +29,10 @@ trace; the event-trace *output* flag is therefore ``--trace-out``.
 ``--jobs N`` fans independent simulations out over a process pool, and
 results are memoised in a content-addressed cache under ``--cache-dir``
 (default ``.repro-cache``; ``--no-cache`` disables it) so warm re-runs
-skip simulation entirely.
+skip simulation entirely.  Trace builds are likewise memoised: each
+build signature's records are materialized once as a packed artifact
+under ``--trace-store`` (default ``<cache-dir>/traces``) and attached
+zero-copy by workers; ``--no-trace-store`` reverts to per-run builds.
 """
 
 from __future__ import annotations
@@ -70,6 +76,24 @@ def _build_configs(names: Sequence[str], cores: int) -> List[cfg.SystemConfig]:
     return configs
 
 
+def _trace_store_from(args: argparse.Namespace) -> Optional[str]:
+    """The trace-store directory implied by the runner flags.
+
+    An explicit ``--trace-store PATH`` always wins (even under
+    ``--no-cache``: trace artifacts are inputs, not memoised results).
+    Otherwise the store lives at ``<cache-dir>/traces`` and follows the
+    cache switches; ``--no-trace-store`` disables it outright.
+    """
+    if getattr(args, "no_trace_store", False):
+        return None
+    explicit = getattr(args, "trace_store", "")
+    if explicit:
+        return explicit
+    if args.no_cache:
+        return None
+    return os.path.join(args.cache_dir, "traces")
+
+
 def _runner_from(args: argparse.Namespace) -> Runner:
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1 (got {args.jobs})")
@@ -77,6 +101,7 @@ def _runner_from(args: argparse.Namespace) -> Runner:
         jobs=args.jobs,
         cache_dir=None if args.no_cache else args.cache_dir,
         use_cache=not args.no_cache,
+        trace_store=_trace_store_from(args),
     )
 
 
@@ -389,6 +414,42 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or shrink the result cache and trace-artifact store."""
+    from repro.exec.cache import ResultCache
+    from repro.exec.trace_store import TraceStore
+
+    cache = ResultCache(args.cache_dir)
+    store = TraceStore(args.trace_store or os.path.join(args.cache_dir, "traces"))
+    if args.action == "stats":
+        results = cache.stats()
+        traces = store.stats()
+        rows = [
+            ["results", results["entries"], results["bytes"], cache.root],
+            ["traces", traces["artifacts"], traces["bytes"], store.root],
+        ]
+        print(render_table(["store", "entries", "bytes", "path"], rows))
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        artifacts = store.clear()
+        print(f"removed {removed} result(s) from {cache.root}")
+        print(f"removed {artifacts} trace artifact(s) from {store.root}")
+        return 0
+    # evict: results are tiny pickles, artifacts are the bulk — the
+    # size cap applies to the trace store only.
+    if args.max_bytes is None or args.max_bytes < 0:
+        raise SystemExit("cache evict needs --max-bytes >= 0")
+    before = store.stats()
+    removed = store.evict(args.max_bytes)
+    after = store.stats()
+    print(
+        f"evicted {removed} trace artifact(s) from {store.root} "
+        f"({before['bytes']} -> {after['bytes']} bytes)"
+    )
+    return 0
+
+
 def cmd_workloads(_args: argparse.Namespace) -> int:
     rows = [
         [
@@ -510,6 +571,16 @@ def _add_runner_options(sub_parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="always simulate; neither read nor write the result cache",
     )
+    sub_parser.add_argument(
+        "--trace-store", default="",
+        help="materialized trace artifact directory (default "
+             "<cache-dir>/traces; used even with --no-cache when given "
+             "explicitly)",
+    )
+    sub_parser.add_argument(
+        "--no-trace-store", action="store_true",
+        help="rebuild traces per run instead of materializing artifacts",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -600,6 +671,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_options(faults_p)
     _add_obs_options(faults_p)
     faults_p.set_defaults(func=cmd_faults)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect/clear the result cache and trace store"
+    )
+    cache_p.add_argument(
+        "action", choices=("stats", "clear", "evict"),
+        help="stats: entry/byte counts; clear: delete everything; "
+             "evict: shrink trace artifacts to --max-bytes (oldest first)",
+    )
+    cache_p.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default {DEFAULT_CACHE_DIR!r})",
+    )
+    cache_p.add_argument(
+        "--trace-store", default="",
+        help="trace artifact directory (default <cache-dir>/traces)",
+    )
+    cache_p.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="evict: target size for the trace store",
+    )
+    cache_p.set_defaults(func=cmd_cache)
 
     wl_p = sub.add_parser("workloads", help="list the workload suite")
     wl_p.set_defaults(func=cmd_workloads)

@@ -15,10 +15,13 @@ from repro.exec.cache import (
     workload_fingerprint,
 )
 from repro.exec.runner import Runner
+from repro.exec.trace_store import TraceStore, attach_workload
 
 __all__ = [
     "ResultCache",
     "Runner",
+    "TraceStore",
+    "attach_workload",
     "canonical_json",
     "canonicalize",
     "unit_key",

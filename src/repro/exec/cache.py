@@ -158,6 +158,18 @@ class ResultCache:
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
 
+    def stats(self) -> dict:
+        """``{"entries": count, "bytes": total_size}``."""
+        entries = 0
+        size = 0
+        for key in self.keys():
+            entries += 1
+            try:
+                size += os.path.getsize(self._path(key))
+            except OSError:
+                pass
+        return {"entries": entries, "bytes": size}
+
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0

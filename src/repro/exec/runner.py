@@ -9,13 +9,29 @@ a :class:`~repro.sim.scenario.Scenario`:
 * **memoisation** — with a ``cache_dir``, every unit's result is stored
   under its content address (see :mod:`repro.exec.cache`); warm re-runs
   of a suite skip simulation entirely;
+* **zero-copy trace fan-out** — with a ``trace_store``, each distinct
+  build signature in the dispatch list is materialized exactly once (in
+  the parent, before the pool spins up) as a packed ``.npy`` artifact;
+  workers then *attach* it through the page cache (``np.memmap``)
+  instead of rebuilding the trace per unit or receiving pickled record
+  arrays.  A lineup of N configurations over one workload costs one
+  build, not N — and nothing at all when the
+  :class:`~repro.exec.trace_store.TraceStore` is warm from an earlier
+  sweep or session;
+* **cost-aware scheduling** — each task's cost is estimated from
+  ``num_cores × trace_length × scheme factor`` (factors calibrated from
+  Runner telemetry) and tasks are dispatched longest-first over
+  ``imap_unordered``, so a straggler starts first instead of last and
+  the pool drains evenly.  Results are reassembled in submission order,
+  so scheduling is invisible to callers;
 * **observability** — every unit emits one JSONL telemetry record
-  (key, wall time, cache hit/miss, cycles, miss rates) so benchmark
-  trajectories can be tracked over time.
+  (key, wall time split into build/sim, cache hit/miss, cycles, miss
+  rates) so benchmark trajectories can be tracked over time.
 
-Determinism: units are rebuilt from seeds inside each worker, the
-engine is deterministic, and results are reassembled in submission
-order — parallel, cached, and serial paths are bit-identical.
+Determinism: units are rebuilt from seeds (or attached from artifacts
+whose bytes those same seeds produced), the engine is deterministic,
+and results are reassembled in submission order — parallel, cached,
+attached, and serial paths are bit-identical.
 """
 
 from __future__ import annotations
@@ -24,7 +40,7 @@ import json
 import multiprocessing
 import os
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from repro.exec.cache import (
     ResultCache,
@@ -32,6 +48,7 @@ from repro.exec.cache import (
     unit_key,
     workload_fingerprint,
 )
+from repro.exec.trace_store import TraceStore, attach_workload
 from repro.sim import configs as cfg
 from repro.sim.engine import (
     DEFAULT_QUANTUM,
@@ -49,36 +66,112 @@ from repro.workloads.trace import Workload
 TELEMETRY_BASENAME = "telemetry.jsonl"
 
 #: Version of the telemetry record layout (see DESIGN.md for the field
-#: table).  2: every record carries ``schema`` and ``metrics``, and hit
-#: records time the cache read (key computation + disk fetch) instead
-#: of reporting 0.0.
-TELEMETRY_SCHEMA = 2
+#: table).  3: ``wall_s`` is split into ``build_s`` (trace build or
+#: artifact attach) + ``sim_s`` (engine time), and trace-store activity
+#: is summarised in a per-call ``record: "trace_store"`` line.
+TELEMETRY_SCHEMA = 3
+
+#: Relative simulation cost per scheme, calibrated from telemetry
+#: ``sim_s`` at equal core counts and trace lengths.  NOCSTAR pays for
+#: per-access setup arbitration; ideal skips the interconnect entirely.
+#: Unknown schemes cost 1.0 — the scheduler degrades to trace-length
+#: ordering, never breaks.
+_SCHEME_COST = {
+    "ideal": 0.7,
+    "distributed": 0.95,
+    "private": 1.0,
+    "monolithic": 1.05,
+    "nocstar": 1.45,
+}
+
+#: Storms and shootdowns force the engine's reference drive loop (the
+#: batched fast path bows out), roughly doubling per-access cost.
+_REFERENCE_LOOP_COST = 2.0
 
 
-def _execute_unit(unit: RunUnit) -> Tuple[RunResult, float]:
-    """Pool worker body: one deterministic simulation, timed."""
-    start = time.perf_counter()
-    result = unit.execute()
-    return result, time.perf_counter() - start
+class _Task(NamedTuple):
+    """One schedulable simulation, self-contained for a pool worker.
+
+    Exactly one of ``unit`` / ``prebuilt`` is set.  ``artifact`` (when
+    not ``None``) points at a packed trace to attach in place of
+    building — for prebuilt tasks it also replaces the pickled
+    workload, which is the zero-copy half of the data plane.
+    """
+
+    index: int
+    cost: float
+    unit: Optional[RunUnit]
+    artifact: Optional[str]
+    prebuilt: Optional[tuple]
 
 
-def _execute_prebuilt(args) -> Tuple[RunResult, float]:
-    (
-        config, workload, storm, shootdown, record_intervals, quantum,
-        metrics, trace,
-    ) = args
-    start = time.perf_counter()
-    result = simulate(
-        config,
-        workload,
-        quantum=quantum,
-        storm=storm,
-        shootdown=shootdown,
-        record_intervals=record_intervals,
-        metrics=metrics,
-        trace=trace,
+def _config_cost(
+    config: cfg.SystemConfig,
+    trace_length: int,
+    storm: Optional[StormConfig],
+    shootdown: Optional[ShootdownTraffic],
+) -> float:
+    cost = float(config.num_cores) * trace_length
+    cost *= _SCHEME_COST.get(config.scheme, 1.0)
+    if storm is not None or shootdown is not None:
+        cost *= _REFERENCE_LOOP_COST
+    return cost
+
+
+def _unit_cost(unit: RunUnit) -> float:
+    return _config_cost(
+        unit.config,
+        unit.accesses_per_core * unit.smt,
+        unit.storm,
+        unit.shootdown,
     )
-    return result, time.perf_counter() - start
+
+
+def _execute_task(task: _Task) -> Tuple[int, RunResult, float, float]:
+    """Pool worker body: attach-or-build, then simulate; both timed.
+
+    Returns ``(index, result, build_s, sim_s)`` — the index rides along
+    because ``imap_unordered`` yields completions in finish order and
+    the parent reassembles by submission index.
+    """
+    start = time.perf_counter()
+    if task.unit is not None:
+        unit = task.unit
+        if task.artifact is not None:
+            workload = attach_workload(task.artifact)
+        else:
+            workload = unit.build_workload()
+        built = time.perf_counter()
+        result = simulate(
+            unit.config,
+            workload,
+            quantum=unit.quantum,
+            storm=unit.storm,
+            shootdown=unit.shootdown,
+            record_intervals=unit.record_intervals,
+            metrics=unit.metrics,
+            trace=unit.trace,
+            faults=unit.fault_plan(),
+        )
+    else:
+        (
+            config, workload, storm, shootdown, record_intervals, quantum,
+            metrics, trace,
+        ) = task.prebuilt
+        if task.artifact is not None:
+            workload = attach_workload(task.artifact)
+        built = time.perf_counter()
+        result = simulate(
+            config,
+            workload,
+            quantum=quantum,
+            storm=storm,
+            shootdown=shootdown,
+            record_intervals=record_intervals,
+            metrics=metrics,
+            trace=trace,
+        )
+    return task.index, result, built - start, time.perf_counter() - built
 
 
 class Runner:
@@ -102,6 +195,11 @@ class Runner:
         Cache-key version tag; defaults to the engine's own
         :data:`~repro.sim.engine.ENGINE_VERSION`.  Exposed so tests can
         prove that bumping the tag invalidates stale entries.
+    trace_store:
+        A :class:`~repro.exec.trace_store.TraceStore` (or a directory
+        path for one).  When set, traces are materialized once per
+        build signature and attached zero-copy by every worker; when
+        ``None`` (default) units build their own traces as before.
     """
 
     def __init__(
@@ -111,6 +209,7 @@ class Runner:
         use_cache: bool = True,
         telemetry_path: Optional[str] = None,
         engine_version: Optional[str] = None,
+        trace_store: Optional[Union[TraceStore, str]] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -122,8 +221,14 @@ class Runner:
         if telemetry_path is None and self.cache is not None:
             telemetry_path = os.path.join(self.cache.root, TELEMETRY_BASENAME)
         self.telemetry_path = telemetry_path
+        if isinstance(trace_store, str):
+            trace_store = TraceStore(trace_store)
+        self.trace_store: Optional[TraceStore] = trace_store
         #: Hit/miss counters of the most recent ``run``/``execute`` call.
         self.stats: Dict[str, int] = {"hits": 0, "misses": 0}
+        #: Trace-store activity of the most recent call: how many
+        #: artifacts were built (vs found warm) and the time spent.
+        self.trace_stats: Dict[str, float] = {"builds": 0, "build_s": 0.0}
 
     # ------------------------------------------------------------------
     # scenario execution
@@ -160,6 +265,7 @@ class Runner:
     def execute_units(self, units: Sequence[RunUnit]) -> List[RunResult]:
         """Execute units (cache, then pool); results in unit order."""
         self.stats = {"hits": 0, "misses": 0}
+        self.trace_stats = {"builds": 0, "build_s": 0.0}
         keys: List[Optional[str]] = [None] * len(units)
         results: List[Optional[RunResult]] = [None] * len(units)
         pending: List[int] = []
@@ -176,24 +282,33 @@ class Runner:
                     self._telemetry(
                         keys[i], unit.config.name, unit.workload.name,
                         unit.config.num_cores, unit.seed, "hit",
-                        time.perf_counter() - start, hit,
+                        time.perf_counter() - start, 0.0, 0.0, hit,
                     )
                     continue
             pending.append(i)
 
-        executed = self._map(
-            _execute_unit, [units[i] for i in pending]
-        )
-        for i, (result, wall) in zip(pending, executed):
-            results[i] = result
+        artifacts = self._stage_signatures(units, pending)
+        tasks = [
+            _Task(
+                index=i,
+                cost=_unit_cost(units[i]),
+                unit=units[i],
+                artifact=artifacts.get(units[i].build_signature()),
+                prebuilt=None,
+            )
+            for i in pending
+        ]
+        for index, result, build_s, sim_s in self._dispatch(tasks):
+            results[index] = result
             self.stats["misses"] += 1
             if self.cache is not None:
-                self.cache.put(keys[i], result)
-            unit = units[i]
+                self.cache.put(keys[index], result)
+            unit = units[index]
             self._telemetry(
-                keys[i], unit.config.name, unit.workload.name,
+                keys[index], unit.config.name, unit.workload.name,
                 unit.config.num_cores, unit.seed,
-                "miss" if self.cache is not None else "off", wall, result,
+                "miss" if self.cache is not None else "off",
+                build_s + sim_s, build_s, sim_s, result,
             )
         return results  # type: ignore[return-value]
 
@@ -216,18 +331,24 @@ class Runner:
 
         The cache key hashes the workload's trace records (there is no
         spec to canonicalise), so loaded ``.npz`` traces and
-        multiprogrammed mixes cache just as scenario units do.
+        multiprogrammed mixes cache just as scenario units do.  With a
+        trace store the workload is materialized once under that same
+        fingerprint and attached by every worker — never pickled per
+        task.
         """
         configurations = list(configurations)
         names = [config.name for config in configurations]
         if baseline_name not in names:
             raise ValueError(f"no baseline {baseline_name!r} in the lineup")
         self.stats = {"hits": 0, "misses": 0}
+        self.trace_stats = {"builds": 0, "build_s": 0.0}
         keys: List[Optional[str]] = [None] * len(configurations)
         results: List[Optional[RunResult]] = [None] * len(configurations)
         pending: List[int] = []
         fingerprint = (
-            workload_fingerprint(workload) if self.cache is not None else None
+            workload_fingerprint(workload)
+            if self.cache is not None or self.trace_store is not None
+            else None
         )
         for i, config in enumerate(configurations):
             if self.cache is not None:
@@ -250,44 +371,108 @@ class Runner:
                     self._telemetry(
                         keys[i], config.name, workload.name,
                         config.num_cores, workload.seed, "hit",
-                        time.perf_counter() - start, hit,
+                        time.perf_counter() - start, 0.0, 0.0, hit,
                     )
                     continue
             pending.append(i)
 
-        executed = self._map(
-            _execute_prebuilt,
-            [
-                (
-                    configurations[i], workload, storm, shootdown,
-                    record_intervals, quantum, metrics, trace,
-                )
-                for i in pending
-            ],
+        artifact: Optional[str] = None
+        if self.trace_store is not None and pending:
+            start = time.perf_counter()
+            artifact, built = self.trace_store.ensure_prebuilt(
+                fingerprint, workload
+            )
+            if built:
+                self.trace_stats["builds"] += 1
+                self.trace_stats["build_s"] += time.perf_counter() - start
+            self._store_telemetry()
+        trace_length = sum(
+            len(stream) for core in workload.traces for stream in core
         )
-        for i, (result, wall) in zip(pending, executed):
-            results[i] = result
+        tasks = [
+            _Task(
+                index=i,
+                cost=_config_cost(
+                    configurations[i], trace_length, storm, shootdown
+                ),
+                unit=None,
+                artifact=artifact,
+                prebuilt=(
+                    configurations[i],
+                    None if artifact is not None else workload,
+                    storm, shootdown, record_intervals, quantum, metrics,
+                    trace,
+                ),
+            )
+            for i in pending
+        ]
+        for index, result, build_s, sim_s in self._dispatch(tasks):
+            results[index] = result
             self.stats["misses"] += 1
             if self.cache is not None:
-                self.cache.put(keys[i], result)
+                self.cache.put(keys[index], result)
             self._telemetry(
-                keys[i], configurations[i].name, workload.name,
-                configurations[i].num_cores, workload.seed,
-                "miss" if self.cache is not None else "off", wall, result,
+                keys[index], configurations[index].name, workload.name,
+                configurations[index].num_cores, workload.seed,
+                "miss" if self.cache is not None else "off",
+                build_s + sim_s, build_s, sim_s, result,
             )
         return Comparison(workload.name, dict(zip(names, results)), baseline_name)
 
     # ------------------------------------------------------------------
     # internals
 
-    def _map(self, fn, items: List) -> List[Tuple[RunResult, float]]:
-        if not items:
+    def _stage_signatures(
+        self, units: Sequence[RunUnit], pending: Sequence[int]
+    ) -> Dict[tuple, str]:
+        """Materialize every distinct build signature exactly once.
+
+        Runs in the parent before any fan-out — the build-once point of
+        the data plane.  Returns ``signature -> artifact path`` for the
+        dispatch list; empty (build-in-worker behaviour) without a
+        store.
+        """
+        artifacts: Dict[tuple, str] = {}
+        if self.trace_store is None or not pending:
+            return artifacts
+        for i in pending:
+            signature = units[i].build_signature()
+            if signature in artifacts:
+                continue
+            start = time.perf_counter()
+            path, built = self.trace_store.ensure(signature)
+            if built:
+                self.trace_stats["builds"] += 1
+                self.trace_stats["build_s"] += time.perf_counter() - start
+            artifacts[signature] = path
+        self._store_telemetry()
+        return artifacts
+
+    def _dispatch(
+        self, tasks: List[_Task]
+    ) -> List[Tuple[int, RunResult, float, float]]:
+        """Run tasks longest-first; return completions in index order.
+
+        The single dispatch path for serial and parallel execution:
+        both orderings, the worker body, and the reassembly are shared,
+        so telemetry and determinism logic exist exactly once.  With a
+        pool, ``imap_unordered(chunksize=1)`` lets free workers steal
+        the next-longest task instead of being handed a fixed slice —
+        longest-first submission bounds the straggler tail (LPT).
+        """
+        if not tasks:
             return []
-        if self.jobs > 1 and len(items) > 1:
-            workers = min(self.jobs, len(items))
+        ordered = sorted(tasks, key=lambda task: (-task.cost, task.index))
+        if self.jobs > 1 and len(ordered) > 1:
+            workers = min(self.jobs, len(ordered))
             with multiprocessing.Pool(processes=workers) as pool:
-                return pool.map(fn, items, chunksize=1)
-        return [fn(item) for item in items]
+                done = list(
+                    pool.imap_unordered(_execute_task, ordered, chunksize=1)
+                )
+        else:
+            done = [_execute_task(task) for task in ordered]
+        done.sort(key=lambda item: item[0])
+        return done
 
     def _telemetry(
         self,
@@ -298,6 +483,8 @@ class Runner:
         seed: int,
         cache_state: str,
         wall_s: float,
+        build_s: float,
+        sim_s: float,
         result: RunResult,
     ) -> None:
         if self.telemetry_path is None:
@@ -312,12 +499,36 @@ class Runner:
             "engine": self.engine_version,
             "cache": cache_state,
             "wall_s": round(wall_s, 6),
+            "build_s": round(build_s, 6),
+            "sim_s": round(sim_s, 6),
             "cycles": result.cycles,
             "l1_miss_rate": result.stats.l1_miss_rate,
             "l2_miss_rate": result.stats.l2_miss_rate,
             "walks": result.stats.walks,
             "metrics": getattr(result, "metrics", None),
         }
+        self._append_telemetry(record)
+
+    def _store_telemetry(self) -> None:
+        """One summary line per execute call describing store activity.
+
+        Carries neither ``kind`` nor ``cycles``/``metrics``, so the
+        report loader classifies it as neither run nor event and skips
+        it; it exists for humans and benchmark tooling reading the raw
+        JSONL.
+        """
+        if self.telemetry_path is None:
+            return
+        self._append_telemetry(
+            {
+                "schema": TELEMETRY_SCHEMA,
+                "record": "trace_store",
+                "builds": self.trace_stats["builds"],
+                "build_s": round(self.trace_stats["build_s"], 6),
+            }
+        )
+
+    def _append_telemetry(self, record: Dict) -> None:
         directory = os.path.dirname(self.telemetry_path)
         if directory:
             os.makedirs(directory, exist_ok=True)

@@ -1,0 +1,274 @@
+"""Content-addressed store of materialized trace artifacts.
+
+The sweep data plane's first principle is *build once*: a multi-core
+trace is a pure function of its build signature — workload spec, core
+count, accesses per core, seed, superpage flag, SMT width — so there is
+never a reason to construct it more than once per machine.  The
+:class:`TraceStore` materializes each signature's trace as a packed
+``.npy`` artifact (see :func:`repro.workloads.io.save_workload_packed`)
+under a SHA-256 content address, shared across lineups, sweeps, and
+sessions.
+
+Keying mirrors the result cache: the canonical JSON of the signature
+plus two version tags — :data:`~repro.workloads.generators.GENERATOR_VERSION`
+(bumped whenever trace *generation* changes) and
+:data:`~repro.workloads.io.PACKED_FORMAT_VERSION` (bumped whenever the
+artifact *layout* changes).  Either bump orphans every stale artifact
+by construction; no manual invalidation logic exists.
+
+Attachment is the zero-copy half: :func:`attach_workload` maps an
+artifact with ``np.load(..., mmap_mode="r")``, so the bytes live once
+in the page cache no matter how many pool workers attach, and converts
+them to engine-native record tuples exactly once per process (a small
+LRU keeps the hottest workloads resident; see DESIGN.md "Sweep data
+plane" for the lifetime rules).  Attached workloads are byte-identical
+to in-process builds — the differential suite proves it — which is why
+the data plane can swap builds for attaches without touching
+``ENGINE_VERSION`` or any result-cache key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Tuple
+
+from repro.exec.cache import canonical_json
+from repro.workloads.io import (
+    PACKED_FORMAT_VERSION,
+    load_workload_packed,
+    save_workload_packed,
+)
+from repro.workloads.trace import Workload
+
+#: Attached workloads kept resident per process.  Eviction only drops
+#: the Python-side record lists (the engine's compiled-core cache
+#: follows via its weakref); the on-disk artifact is untouched.
+ATTACH_CACHE_CAPACITY = 4
+
+_ATTACHED: "OrderedDict[str, Workload]" = OrderedDict()
+
+
+def attach_workload(path: str, mmap: bool = True) -> Workload:
+    """Attach a packed trace artifact; memoised per absolute path.
+
+    Repeat attaches in one process return the *same* ``Workload``
+    object — that identity is what lets the engine's per-object
+    compiled-core cache amortise its pre-pass across every unit of a
+    lineup that lands on the same worker.
+    """
+    key = os.path.abspath(path)
+    workload = _ATTACHED.get(key)
+    if workload is not None:
+        _ATTACHED.move_to_end(key)
+        return workload
+    workload = load_workload_packed(key, mmap=mmap)
+    _ATTACHED[key] = workload
+    while len(_ATTACHED) > ATTACH_CACHE_CAPACITY:
+        _ATTACHED.popitem(last=False)
+    return workload
+
+
+def _clear_attachments() -> None:
+    """Drop every process-local attachment (test isolation helper)."""
+    _ATTACHED.clear()
+
+
+def trace_key(signature) -> str:
+    """SHA-256 content address of one build signature.
+
+    ``signature`` is any canonicalisable value (the store uses the
+    mapping built by :meth:`TraceStore._payload`); generator and format
+    versions must already be folded in by the caller.
+    """
+    return hashlib.sha256(
+        canonical_json(signature).encode("utf-8")
+    ).hexdigest()
+
+
+class TraceStore:
+    """On-disk, content-addressed trace artifacts.
+
+    Layout: ``<root>/<key[:2]>/<key>.npy`` plus a ``<key>.json``
+    metadata sidecar — the same two-character fan-out as the result
+    cache.  An artifact without its sidecar is an uncommitted torn
+    write and reads as a miss.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+
+    # ------------------------------------------------------------------
+    # keying
+
+    @staticmethod
+    def _payload(
+        spec, num_cores: int, accesses_per_core: int, seed: int,
+        superpages: bool, smt: int,
+    ) -> Dict[str, object]:
+        from repro.workloads.generators import GENERATOR_VERSION
+
+        return {
+            "workload": spec,
+            "num_cores": num_cores,
+            "accesses_per_core": accesses_per_core,
+            "seed": seed,
+            "superpages": superpages,
+            "smt": smt,
+            "generator": GENERATOR_VERSION,
+            "format": PACKED_FORMAT_VERSION,
+        }
+
+    def key_for(self, signature: Tuple) -> str:
+        """Content address of a ``RunUnit.build_signature()`` tuple."""
+        return trace_key(self._payload(*signature))
+
+    @staticmethod
+    def prebuilt_key(fingerprint: str) -> str:
+        """Content address for an already-built workload's artifact.
+
+        Prebuilt workloads (loaded traces, multiprogrammed mixes) are
+        addressed by their record fingerprint — the generator version
+        is irrelevant because no generation happens — plus the packed
+        format version.
+        """
+        return trace_key(
+            {"prebuilt": fingerprint, "format": PACKED_FORMAT_VERSION}
+        )
+
+    # ------------------------------------------------------------------
+    # artifact lifecycle
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.npy")
+
+    def _committed(self, key: str) -> bool:
+        path = self.path(key)
+        return os.path.exists(path) and os.path.exists(
+            os.path.splitext(path)[0] + ".json"
+        )
+
+    def ensure(self, signature: Tuple) -> Tuple[str, bool]:
+        """Materialize one signature's artifact; returns (path, built).
+
+        Builds the trace (via the deterministic generator path the
+        serial runner uses) only when the artifact is absent — the
+        build-once guarantee.  Concurrent builders race harmlessly:
+        writes are atomic and content-addressed, so the loser just
+        overwrites identical bytes.
+        """
+        key = self.key_for(signature)
+        path = self.path(key)
+        if self._committed(key):
+            return path, False
+        from repro.workloads.generators import build_multithreaded
+
+        spec, num_cores, accesses_per_core, seed, superpages, smt = signature
+        workload = build_multithreaded(
+            spec,
+            num_cores,
+            accesses_per_core=accesses_per_core,
+            seed=seed,
+            superpages=superpages,
+            smt=smt,
+        )
+        save_workload_packed(workload, path)
+        return path, True
+
+    def ensure_prebuilt(
+        self, fingerprint: str, workload: Workload
+    ) -> Tuple[str, bool]:
+        """Materialize an already-built workload under its fingerprint."""
+        key = self.prebuilt_key(fingerprint)
+        path = self.path(key)
+        if self._committed(key):
+            return path, False
+        save_workload_packed(workload, path)
+        return path, True
+
+    # ------------------------------------------------------------------
+    # stats & eviction
+
+    def keys(self) -> Iterator[str]:
+        if not os.path.isdir(self.root):
+            return
+        for bucket in sorted(os.listdir(self.root)):
+            subdir = os.path.join(self.root, bucket)
+            if not os.path.isdir(subdir):
+                continue
+            for entry in sorted(os.listdir(subdir)):
+                if entry.endswith(".npy") and not entry.startswith(".tmp-"):
+                    key = entry[: -len(".npy")]
+                    if self._committed(key):
+                        yield key
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self._committed(key)
+
+    def _entry_bytes(self, key: str) -> int:
+        path = self.path(key)
+        total = 0
+        for candidate in (path, os.path.splitext(path)[0] + ".json"):
+            try:
+                total += os.path.getsize(candidate)
+            except OSError:
+                pass
+        return total
+
+    def stats(self) -> Dict[str, int]:
+        """``{"artifacts": count, "bytes": total_size}``."""
+        artifacts = 0
+        size = 0
+        for key in self.keys():
+            artifacts += 1
+            size += self._entry_bytes(key)
+        return {"artifacts": artifacts, "bytes": size}
+
+    def _remove(self, key: str) -> None:
+        path = self.path(key)
+        # Sidecar first: a half-removed entry must read as a miss, and
+        # processes that already attached keep their live memmap (POSIX
+        # unlink keeps mapped bytes alive until the last map closes).
+        for candidate in (os.path.splitext(path)[0] + ".json", path):
+            try:
+                os.unlink(candidate)
+            except OSError:
+                pass
+
+    def evict(self, max_bytes: int) -> int:
+        """Shrink the store to ``max_bytes``, oldest artifacts first.
+
+        Returns how many artifacts were removed.  Recency is mtime of
+        the ``.npy`` — attaches never rewrite artifacts, so this is
+        creation-time LRU, which is the right policy for content-
+        addressed entries (older generator output is colder output).
+        """
+        entries: List[Tuple[float, str, int]] = []
+        for key in self.keys():
+            try:
+                mtime = os.path.getmtime(self.path(key))
+            except OSError:
+                continue
+            entries.append((mtime, key, self._entry_bytes(key)))
+        total = sum(size for _, _, size in entries)
+        removed = 0
+        entries.sort()
+        for _, key, size in entries:
+            if total <= max_bytes:
+                break
+            self._remove(key)
+            total -= size
+            removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Delete every artifact; returns how many were removed."""
+        removed = 0
+        for key in list(self.keys()):
+            self._remove(key)
+            removed += 1
+        return removed

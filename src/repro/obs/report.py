@@ -292,18 +292,23 @@ def render_report(
     run_rows = []
     for record in runs:
         metrics = record.get("metrics") or {}
+        # build_s/sim_s exist in telemetry schema >= 3; obs records and
+        # older telemetry render a "-" placeholder.
         run_rows.append(
             [
                 _label(record),
                 record.get("cycles", "-"),
                 record.get("cache", "-"),
+                record.get("build_s", "-"),
+                record.get("sim_s", "-"),
                 "yes" if metrics else "no",
             ]
         )
     if run_rows:
         sections.append(
             render_table(
-                ["run", "cycles", "cache", "metrics"], run_rows,
+                ["run", "cycles", "cache", "build_s", "sim_s", "metrics"],
+                run_rows,
                 title="== runs ==",
             )
         )

@@ -65,7 +65,7 @@ class Comparison:
         return 100.0 * (1.0 - shared_misses / private_misses)
 
 
-def _runner(jobs, cache_dir, use_cache, telemetry_path, runner):
+def _runner(jobs, cache_dir, use_cache, telemetry_path, runner, trace_store):
     if runner is not None:
         return runner
     from repro.exec.runner import Runner
@@ -75,6 +75,7 @@ def _runner(jobs, cache_dir, use_cache, telemetry_path, runner):
         cache_dir=cache_dir,
         use_cache=use_cache,
         telemetry_path=telemetry_path,
+        trace_store=trace_store,
     )
 
 
@@ -91,6 +92,7 @@ def compare(
     use_cache: bool = True,
     telemetry_path: Optional[str] = None,
     runner=None,
+    trace_store=None,
 ) -> Comparison:
     """Run one workload on every configuration of a lineup.
 
@@ -101,7 +103,7 @@ def compare(
     Scenario, or ``Runner.run_prebuilt`` for built traces and
     multiprogrammed mixes.
     """
-    run = _runner(jobs, cache_dir, use_cache, telemetry_path, runner)
+    run = _runner(jobs, cache_dir, use_cache, telemetry_path, runner, trace_store)
     if isinstance(workload, Scenario):
         if configurations is not None:
             raise TypeError(
@@ -142,6 +144,7 @@ def run_suite(
     use_cache: bool = True,
     telemetry_path: Optional[str] = None,
     runner=None,
+    trace_store=None,
 ) -> Dict[str, Comparison]:
     """The paper's standard sweep: every workload through a lineup.
 
@@ -178,7 +181,7 @@ def run_suite(
                 f"num_cores={num_cores} disagrees with the lineup "
                 f"({scenario.num_cores} cores)"
             )
-    run = _runner(jobs, cache_dir, use_cache, telemetry_path, runner)
+    run = _runner(jobs, cache_dir, use_cache, telemetry_path, runner, trace_store)
     return run.run(scenario)
 
 

@@ -93,8 +93,14 @@ class RunUnit:
             )
         return self.faults
 
-    def build_workload(self) -> Workload:
-        return _build_workload(
+    def build_signature(self) -> Tuple:
+        """The fields that fully determine this unit's built workload.
+
+        Strictly narrower than the cache key: configurations that differ
+        only in scheme/interconnect share a signature, which is what
+        lets the trace store dedupe a whole lineup into one build.
+        """
+        return (
             self.workload,
             self.config.num_cores,
             self.accesses_per_core,
@@ -102,6 +108,9 @@ class RunUnit:
             self.superpages,
             self.smt,
         )
+
+    def build_workload(self) -> Workload:
+        return _build_workload(*self.build_signature())
 
     def execute(self):
         """Build the workload and simulate it.  Deterministic."""

@@ -27,6 +27,15 @@ from repro.vm.superpage import SuperpagePolicy
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.trace import Record, Workload
 
+#: Version of the trace-generation algorithm.  Any change to how this
+#: module turns a :class:`WorkloadSpec` into records — pool layout,
+#: sampling, anchor propagation, gap distribution — must bump it: the
+#: :class:`~repro.exec.trace_store.TraceStore` keys its on-disk trace
+#: artifacts on this constant, so a bump orphans every stale artifact
+#: by construction (mirroring how ``ENGINE_VERSION`` invalidates the
+#: result cache).
+GENERATOR_VERSION = 1
+
 #: Seed offset for the per-pool rank->page permutations.
 _SCATTER_SEED = 0x5CA77E12
 
@@ -34,6 +43,27 @@ _SCATTER_SEED = 0x5CA77E12
 LIB_POOL_PAGES = 2048
 LIB_ALPHA = 1.1
 GLOBAL_ASID = 0
+
+
+#: Process-wide memo of Zipf CDFs keyed by ``(n, alpha)``.  At sweep
+#: scale the same populations recur constantly — every core of a
+#: workload, every configuration of a lineup, every pool worker — and
+#: an ``n``-element cumsum over a paper-scale footprint (millions of
+#: pages) is too expensive to recompute per sampler.  The arrays are
+#: frozen (non-writeable) so sharing one instance across samplers
+#: cannot let one caller mutate another's distribution.
+_CDF_CACHE: Dict[Tuple[int, float], np.ndarray] = {}
+
+
+def _zipf_cdf(n: int, alpha: float) -> np.ndarray:
+    cdf = _CDF_CACHE.get((n, alpha))
+    if cdf is None:
+        weights = 1.0 / np.arange(1, n + 1, dtype=np.float64) ** alpha
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        cdf.setflags(write=False)
+        _CDF_CACHE[(n, alpha)] = cdf
+    return cdf
 
 
 class ZipfSampler:
@@ -50,9 +80,7 @@ class ZipfSampler:
         self.n = n
         self.alpha = alpha
         if alpha > 0.0:
-            weights = 1.0 / np.arange(1, n + 1, dtype=np.float64) ** alpha
-            self._cdf = np.cumsum(weights)
-            self._cdf /= self._cdf[-1]
+            self._cdf = _zipf_cdf(n, alpha)
         else:
             self._cdf = None  # uniform
         if permute_seed is not None:

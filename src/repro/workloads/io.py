@@ -2,19 +2,34 @@
 
 A trace-driven simulator is only as useful as the traces you can feed
 it.  This module round-trips :class:`~repro.workloads.trace.Workload`
-objects through compressed ``.npz`` files — one integer array per
-(core, stream) holding ``(gap, asid, page_size, page_number)`` rows,
-plus a JSON metadata header — so users can export the calibrated
-synthetic suite, post-process it, or import traces captured elsewhere
-(e.g. converted from a binary instrumentation run at 4KB-page
-granularity).
+objects through two on-disk layouts:
+
+* **portable ``.npz``** (:func:`save_workload` / :func:`load_workload`)
+  — one integer array per (core, stream) holding
+  ``(gap, asid, page_size, page_number)`` rows plus a JSON metadata
+  header, compressed; the interchange format for exporting the
+  calibrated suite or importing traces captured elsewhere;
+* **packed ``.npy`` + JSON sidecar** (:func:`save_workload_packed` /
+  :func:`load_workload_packed`) — every stream concatenated into one
+  ``(N, 4)`` ``int64`` array, uncompressed, so readers can attach with
+  ``np.load(..., mmap_mode="r")`` and share the bytes through the page
+  cache instead of each materialising a private copy.  This is the
+  memmap-friendly build path the sweep data plane's
+  :class:`~repro.exec.trace_store.TraceStore` stores its artifacts in.
+
+Both layouts round-trip exactly: records come back as tuples of Python
+``int`` (never ``np.int64``), byte-identical to what the generators
+produced, which is what lets fan-out workers attach artifacts in place
+of in-process builds without perturbing a single simulated bit.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import List, Sequence, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -22,6 +37,10 @@ from repro.vm.address import PAGE_SIZES
 from repro.workloads.trace import Record, Workload
 
 FORMAT_VERSION = 1
+
+#: Version of the packed (memmap-friendly) artifact layout.  Part of
+#: every TraceStore key: bumping it orphans stale artifacts.
+PACKED_FORMAT_VERSION = 2
 
 
 def save_workload(workload: Workload, path: Union[str, Path]) -> Path:
@@ -67,6 +86,143 @@ def load_workload(path: Union[str, Path]) -> Workload:
                 rows = archive[f"c{core}_s{stream_idx}"]
                 streams.append([tuple(int(v) for v in row) for row in rows])
             traces.append(streams)
+    return Workload(
+        name=meta["name"],
+        traces=traces,
+        seed=meta["seed"],
+        superpages=meta["superpages"],
+        info=meta.get("info", {}),
+    )
+
+
+def pack_workload(
+    workload: Workload,
+) -> Tuple[np.ndarray, List[int], List[int], Dict[str, object]]:
+    """Flatten a workload into one ``(N, 4)`` int64 array plus layout.
+
+    Returns ``(data, offsets, streams_per_core, meta)``: ``data`` holds
+    every stream's records concatenated in (core, stream) order,
+    ``offsets`` has one entry per stream boundary (``len(streams) + 1``
+    entries), and ``meta`` carries the identity fields needed to
+    rebuild the :class:`Workload`.
+    """
+    arrays: List[np.ndarray] = []
+    offsets = [0]
+    streams_per_core: List[int] = []
+    for streams in workload.traces:
+        streams_per_core.append(len(streams))
+        for stream in streams:
+            arrays.append(
+                np.asarray(stream, dtype=np.int64).reshape(len(stream), 4)
+            )
+            offsets.append(offsets[-1] + len(stream))
+    data = (
+        np.concatenate(arrays)
+        if arrays
+        else np.empty((0, 4), dtype=np.int64)
+    )
+    meta = {
+        "version": PACKED_FORMAT_VERSION,
+        "name": workload.name,
+        "seed": workload.seed,
+        "superpages": workload.superpages,
+        "streams_per_core": streams_per_core,
+        "offsets": offsets,
+        "info": workload.info,
+    }
+    return data, offsets, streams_per_core, meta
+
+
+def unpack_traces(
+    data: np.ndarray, offsets: Sequence[int], streams_per_core: Sequence[int]
+) -> List[List[List[Record]]]:
+    """Rebuild ``traces[core][stream]`` record lists from packed form.
+
+    The column-wise ``tolist()`` conversion yields tuples of Python
+    ``int`` — exactly the record type the generators emit — and is the
+    only copy the attach path makes: the packed array itself can be a
+    read-only memmap shared by every attached process.
+    """
+    if data.size:
+        columns = [data[:, i].tolist() for i in range(4)]
+        records = list(zip(*columns))
+    else:
+        records = []
+    traces: List[List[List[Record]]] = []
+    stream_index = 0
+    for num_streams in streams_per_core:
+        streams = []
+        for _ in range(num_streams):
+            lo, hi = offsets[stream_index], offsets[stream_index + 1]
+            streams.append(records[lo:hi])
+            stream_index += 1
+        traces.append(streams)
+    return traces
+
+
+def _sidecar_path(path: Path) -> Path:
+    return path.with_suffix(".json")
+
+
+def save_workload_packed(workload: Workload, path: Union[str, Path]) -> Path:
+    """Write the packed (memmap-friendly) layout; returns the .npy path.
+
+    Two files: ``<path>.npy`` (the packed records, uncompressed so they
+    can be attached with ``mmap_mode="r"``) and ``<path>.json`` (the
+    metadata sidecar).  Both are written to temp files and committed
+    with ``os.replace``, sidecar last — the sidecar's presence is the
+    commit marker, so concurrent writers (pool workers racing on one
+    artifact) can never expose a torn entry.
+    """
+    path = Path(path)
+    if path.suffix != ".npy":
+        path = path.with_suffix(path.suffix + ".npy")
+    data, _, _, meta = pack_workload(workload)
+    directory = path.parent
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".npy")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.save(fh, data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".json")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(meta, fh, sort_keys=True)
+        os.replace(tmp, _sidecar_path(path))
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_workload_packed(path: Union[str, Path], mmap: bool = True) -> Workload:
+    """Read a packed workload; ``mmap=True`` attaches the records
+    read-only through the page cache (zero-copy across processes) while
+    ``mmap=False`` loads them into private memory."""
+    path = Path(path)
+    with open(_sidecar_path(path)) as fh:
+        meta = json.load(fh)
+    if meta.get("version") != PACKED_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported packed trace version {meta.get('version')!r}"
+        )
+    data = np.load(path, mmap_mode="r" if mmap else None)
+    if data.ndim != 2 or data.shape[1] != 4 or data.dtype != np.int64:
+        raise ValueError(
+            f"packed trace {path} has shape {data.shape} / {data.dtype}; "
+            "expected (N, 4) int64"
+        )
+    traces = unpack_traces(data, meta["offsets"], meta["streams_per_core"])
     return Workload(
         name=meta["name"],
         traces=traces,

@@ -167,3 +167,34 @@ def test_multithreaded_cores_share_cold_pool():
     ]
     overlap = pages[0] & pages[1] & pages[2] & pages[3]
     assert len(overlap) >= 20
+
+
+def test_zipf_cdf_memoised_per_n_alpha():
+    """Every core of a workload samples the same (n, alpha) CDF; the
+    process-wide memo means the n-element cumsum happens once."""
+    from repro.workloads.generators import _CDF_CACHE, _zipf_cdf
+
+    _CDF_CACHE.clear()
+    first = _zipf_cdf(10_000, 1.01)
+    assert _zipf_cdf(10_000, 1.01) is first
+    assert not first.flags.writeable  # shared: must be immutable
+    assert _zipf_cdf(10_000, 0.99) is not first
+    assert _zipf_cdf(9_999, 1.01) is not first
+    assert len(_CDF_CACHE) == 3
+
+
+def test_memoised_sampler_output_unchanged():
+    """The memo must not perturb generation: two samplers over the
+    same distribution draw identical sequences from identical rngs."""
+    import numpy as np
+
+    from repro.workloads.generators import _CDF_CACHE, ZipfSampler
+
+    _CDF_CACHE.clear()
+    cold = ZipfSampler(5_000, 1.05, permute_seed=9).sample(
+        500, np.random.default_rng(3)
+    )
+    warm = ZipfSampler(5_000, 1.05, permute_seed=9).sample(
+        500, np.random.default_rng(3)
+    )
+    assert cold.tolist() == warm.tolist()

@@ -8,10 +8,15 @@ from repro.vm.address import PAGE_2M, PAGE_4K
 from repro.workloads.generators import build_multithreaded
 from repro.workloads.io import (
     load_workload,
+    load_workload_packed,
+    pack_workload,
     save_workload,
+    save_workload_packed,
+    unpack_traces,
     workload_from_records,
 )
 from repro.workloads.registry import get_workload
+from repro.workloads.trace import Workload
 
 
 @pytest.fixture()
@@ -55,6 +60,104 @@ def test_version_check(tmp_path, workload):
     np.savez_compressed(path, **data)
     with pytest.raises(ValueError, match="version"):
         load_workload(path)
+
+
+# ----------------------------------------------------------------------
+# packed (memmap-friendly) layout
+
+
+def _assert_identical(loaded, original):
+    assert loaded.name == original.name
+    assert loaded.seed == original.seed
+    assert loaded.superpages == original.superpages
+    assert loaded.traces == original.traces
+    assert loaded.info == original.info
+
+
+def _assert_exact_record_types(loaded):
+    """Records must be tuples of Python int — never np.int64 (which
+    would leak into cycles, telemetry JSON, and cache keys)."""
+    for core in loaded.traces:
+        for stream in core:
+            for record in stream:
+                assert type(record) is tuple and len(record) == 4
+                for value in record:
+                    assert type(value) is int
+
+
+@pytest.mark.parametrize("mmap", [True, False])
+def test_packed_round_trip_multi_stream(tmp_path, workload, mmap):
+    assert workload.smt == 2  # multi-stream by construction
+    path = save_workload_packed(workload, tmp_path / "trace.npy")
+    loaded = load_workload_packed(path, mmap=mmap)
+    _assert_identical(loaded, workload)
+    _assert_exact_record_types(loaded)
+
+
+@pytest.mark.parametrize("mmap", [True, False])
+def test_packed_round_trip_single_record(tmp_path, mmap):
+    original = Workload(
+        name="one",
+        traces=[[[(3, 7, PAGE_2M, 42)]]],
+        seed=11,
+        superpages=True,
+        info={"asids": 8},
+    )
+    path = save_workload_packed(original, tmp_path / "one.npy")
+    loaded = load_workload_packed(path, mmap=mmap)
+    _assert_identical(loaded, original)
+    _assert_exact_record_types(loaded)
+    assert loaded.traces[0][0][0] == (3, 7, PAGE_2M, 42)
+
+
+@pytest.mark.parametrize("mmap", [True, False])
+def test_packed_round_trip_empty(tmp_path, mmap):
+    # Zero cores, and cores whose streams are empty, both round-trip.
+    for name, traces in (("none", []), ("hollow", [[], [[]]])):
+        original = Workload(
+            name=name, traces=traces, seed=0, superpages=False
+        )
+        path = save_workload_packed(original, tmp_path / f"{name}.npy")
+        loaded = load_workload_packed(path, mmap=mmap)
+        _assert_identical(loaded, original)
+
+
+def test_pack_unpack_is_the_identity(workload):
+    data, offsets, streams_per_core, meta = pack_workload(workload)
+    assert data.dtype.name == "int64" and data.shape[1] == 4
+    assert data.shape[0] == workload.total_accesses
+    assert unpack_traces(data, offsets, streams_per_core) == workload.traces
+    assert meta["superpages"] == workload.superpages
+
+
+def test_packed_loaded_trace_simulates_identically(tmp_path, workload):
+    path = save_workload_packed(workload, tmp_path / "trace.npy")
+    loaded = load_workload_packed(path)
+    a = simulate(cfg.nocstar(4), workload)
+    b = simulate(cfg.nocstar(4), loaded)
+    assert a.cycles == b.cycles
+    assert a.stats == b.stats
+
+
+def test_packed_version_check(tmp_path, workload):
+    import json
+
+    path = save_workload_packed(workload, tmp_path / "trace.npy")
+    sidecar = path.with_suffix(".json")
+    meta = json.loads(sidecar.read_text())
+    meta["version"] = 99
+    sidecar.write_text(json.dumps(meta))
+    with pytest.raises(ValueError, match="version"):
+        load_workload_packed(path)
+
+
+def test_packed_shape_check(tmp_path, workload):
+    import numpy as np
+
+    path = save_workload_packed(workload, tmp_path / "trace.npy")
+    np.save(path, np.zeros((3, 5), dtype=np.int64))
+    with pytest.raises(ValueError, match="shape"):
+        load_workload_packed(path)
 
 
 def test_from_records_builds_runnable_workload():
