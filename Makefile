@@ -5,8 +5,8 @@ RUN = PYTHONPATH=src $(PYTHON)
 CACHE_DIR ?= .repro-cache
 
 .PHONY: install test smoke report-smoke faults-smoke bench-engine-smoke \
-        bench-sweep-smoke verify bench bench-full bench-faults examples \
-        calibrate cache-clean clean
+        bench-sweep-smoke serve-smoke bench-serve-smoke verify bench \
+        bench-full bench-faults examples calibrate cache-clean clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -50,10 +50,23 @@ bench-engine-smoke:
 bench-sweep-smoke:
 	$(RUN) benchmarks/bench_sweep.py
 
+# Serving smoke: spawn the real `repro serve` daemon, submit over
+# HTTP, assert the result and the coalescing counters, shut it down
+# cleanly (tools/serve_smoke.py parses the `serving on` line).
+serve-smoke:
+	$(RUN) tools/serve_smoke.py
+
+# Serving load smoke: hundreds of concurrent synthetic clients against
+# the daemon; guards that coalesced duplicates execute exactly once and
+# writes the BENCH_serve.json latency-percentile artefact.
+bench-serve-smoke:
+	$(RUN) benchmarks/bench_serve.py
+
 # The full local gate: tests plus the parallel, observability,
-# fault-injection, engine fast-path, and sweep data-plane smokes.
+# fault-injection, engine fast-path, sweep data-plane, and serving
+# smokes.
 verify: test smoke report-smoke faults-smoke bench-engine-smoke \
-        bench-sweep-smoke
+        bench-sweep-smoke serve-smoke bench-serve-smoke
 
 bench:
 	$(RUN) -m pytest benchmarks/ --benchmark-only

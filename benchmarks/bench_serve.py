@@ -1,0 +1,202 @@
+"""Serving-tier load bench: concurrent synthetic clients vs the daemon.
+
+Standalone script (not a pytest bench): starts the ``repro serve``
+daemon in-process (:class:`~repro.serve.BackgroundDaemon`, real worker
+processes), then unleashes hundreds of synthetic clients — each its own
+thread with its own :class:`~repro.serve.ServeClient` — against a small
+pool of distinct scenarios, so that duplicate submissions vastly
+outnumber distinct work.  It asserts the tentpole's coalescing
+contract under load:
+
+* every distinct unit of work executes **exactly once** (the
+  ``serve.executions`` counter equals the distinct-unit count, however
+  many clients asked for it);
+* every client of the same scenario receives the byte-identical
+  RunResult payload;
+* at least ``MIN_CLIENTS`` concurrent clients are sustained (the
+  acceptance floor), all completing within the run.
+
+It reports end-to-end latency percentiles (p50/p95/p99 across clients,
+submit→result) and writes the machine-readable ``BENCH_serve.json``
+artefact under ``benchmarks/results/`` (override with argv[1]).
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [out.json]
+
+``REPRO_BENCH_FULL=1`` scales the fleet to four times the default.
+``make bench-serve-smoke`` runs it as part of ``make verify``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import sys
+import tempfile
+import threading
+import time
+
+from repro.analysis.tables import render_table
+from repro.serve import BackgroundDaemon, ServeClient, ServeConfig
+from repro.serve.schema import SubmitRequest
+
+#: The acceptance floor: the daemon must sustain at least this many
+#: concurrent clients in one run.
+MIN_CLIENTS = 100
+
+#: Fleet size (4x under REPRO_BENCH_FULL=1).
+N_CLIENTS = 256
+#: Distinct scenarios the fleet draws from; everything else coalesces.
+N_DISTINCT = 8
+WORKERS = 2
+CORES = 4
+ACCESSES = 300
+TIMEOUT_S = 600.0
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def _requests():
+    return [
+        SubmitRequest(
+            workload="gups",
+            configs=("private", "nocstar"),
+            cores=CORES,
+            accesses_per_core=ACCESSES,
+            seed=seed,
+            client_id=f"bench-{seed}",
+        )
+        for seed in range(1, N_DISTINCT + 1)
+    ]
+
+
+def _percentile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+def main(argv) -> int:
+    clients = N_CLIENTS * (4 if os.environ.get("REPRO_BENCH_FULL") else 1)
+    requests = _requests()
+    distinct_units = {
+        (request.job_id(), name)
+        for request in requests
+        for name in request.configs
+    }
+
+    latencies = [0.0] * clients
+    payloads = [None] * clients
+    errors = []
+    gate = threading.Barrier(clients + 1)
+
+    def run_client(index: int) -> None:
+        request = requests[index % len(requests)]
+        client = ServeClient(url, timeout=TIMEOUT_S)
+        gate.wait()
+        start = time.perf_counter()
+        try:
+            result = client.run(request, timeout=TIMEOUT_S, poll_s=0.02)
+            latencies[index] = time.perf_counter() - start
+            payloads[index] = pickle.dumps(
+                {name: result.results[name] for name in sorted(result.results)}
+            )
+        except Exception as exc:
+            errors.append(f"client {index}: {type(exc).__name__}: {exc}")
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-cache-") as cache_dir:
+        config = ServeConfig(workers=WORKERS, quota=0, cache_dir=cache_dir)
+        with BackgroundDaemon(config) as url:
+            threads = [
+                threading.Thread(target=run_client, args=(i,), daemon=True)
+                for i in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            wall_start = time.perf_counter()
+            gate.wait()  # release the whole fleet at once
+            for thread in threads:
+                thread.join(timeout=TIMEOUT_S)
+            wall = time.perf_counter() - wall_start
+            alive = sum(1 for t in threads if t.is_alive())
+            daemon_counters = ServeClient(url).metrics()["counters"]
+
+    assert not errors, "client failures:\n" + "\n".join(errors[:10])
+    assert alive == 0, f"{alive} client(s) still running after {TIMEOUT_S}s"
+
+    executions = daemon_counters["serve.executions"]
+    submissions = daemon_counters["serve.submissions"]
+    assert submissions == clients, (submissions, clients)
+    assert executions == len(distinct_units), (
+        f"coalescing broke under load: {executions} executions for "
+        f"{len(distinct_units)} distinct unit(s) across {clients} clients"
+    )
+    assert clients >= MIN_CLIENTS
+
+    # Byte-identity across clients of the same scenario.
+    by_request = {}
+    for index, blob in enumerate(payloads):
+        by_request.setdefault(index % len(requests), set()).add(blob)
+    for request_index, blobs in by_request.items():
+        assert len(blobs) == 1, (
+            f"clients of scenario {request_index} saw "
+            f"{len(blobs)} distinct result payloads"
+        )
+
+    ordered = sorted(latencies)
+    p50 = _percentile(ordered, 0.50)
+    p95 = _percentile(ordered, 0.95)
+    p99 = _percentile(ordered, 0.99)
+
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["clients", clients],
+                ["distinct scenarios", len(requests)],
+                ["distinct units", len(distinct_units)],
+                ["executions", executions],
+                ["jobs coalesced", daemon_counters["serve.jobs_coalesced"]],
+                ["wall (s)", f"{wall:.3f}"],
+                ["p50 latency (s)", f"{p50:.3f}"],
+                ["p95 latency (s)", f"{p95:.3f}"],
+                ["p99 latency (s)", f"{p99:.3f}"],
+            ],
+        )
+    )
+
+    out = argv[1] if len(argv) > 1 else os.path.join(
+        RESULTS_DIR, "BENCH_serve.json"
+    )
+    payload = {
+        "clients": clients,
+        "min_clients": MIN_CLIENTS,
+        "distinct_scenarios": len(requests),
+        "distinct_units": len(distinct_units),
+        "executions": executions,
+        "submissions": submissions,
+        "jobs_coalesced": daemon_counters["serve.jobs_coalesced"],
+        "workers": WORKERS,
+        "cores": CORES,
+        "accesses_per_core": ACCESSES,
+        "wall_seconds": wall,
+        "p50_seconds": p50,
+        "p95_seconds": p95,
+        "p99_seconds": p99,
+        "coalesced_exactly_once": executions == len(distinct_units),
+    }
+    directory = os.path.dirname(out)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -15,7 +15,7 @@ from dataclasses import replace
 
 from repro.analysis.tables import render_table
 from repro.sim import configs as cfg
-from repro.sim import compare, simulate
+from repro.api import compare, simulate
 from repro.vm import AsidManager
 from repro.workloads import WORKLOADS, build_multiprogrammed
 from repro.workloads.microbench import build_slice_hammer

@@ -10,7 +10,7 @@ Run:  python examples/multiprogrammed.py
 """
 
 from repro.analysis.tables import render_table
-from repro.sim import compare, distributed, monolithic, nocstar, private
+from repro.api import compare, distributed, monolithic, nocstar, private
 from repro.workloads import WORKLOADS, build_multiprogrammed
 from repro.workloads.multiprog import sample_combinations
 

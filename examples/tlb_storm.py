@@ -10,7 +10,7 @@ Run:  python examples/tlb_storm.py
 """
 
 from repro.analysis.tables import render_table
-from repro.sim import (
+from repro.api import (
     distributed,
     monolithic,
     nocstar,

@@ -9,9 +9,11 @@ Public API tour:
   factories and registry, and the workload registry.
 * ``repro.exec`` — parallel experiment runner with content-addressed
   result caching (the execution substrate behind every sweep).
+* ``repro.serve`` — simulation-as-a-service: the ``repro serve``
+  daemon, job manager, and :class:`~repro.serve.client.ServeClient`.
 * ``repro.sim`` — build configurations (:func:`repro.sim.private`,
-  :func:`repro.sim.nocstar`, ...) and run workloads
-  (:func:`repro.sim.simulate`, :func:`repro.sim.run_suite`).
+  :func:`repro.sim.nocstar`, ...) and the simulation engine; the run
+  harness lives on the :mod:`repro.api` facade.
 * ``repro.core`` — the NOCSTAR interconnect itself.
 * ``repro.workloads`` — the paper's application suite and
   microbenchmarks as synthetic trace generators.
@@ -33,9 +35,9 @@ Quickstart::
     print(cmp.speedup("nocstar"))
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-from repro import analysis, api, core, energy, mem, noc, sim, tlb, vm, workloads
+from repro import analysis, api, core, energy, mem, noc, serve, sim, tlb, vm, workloads
 from repro import exec as exec_  # "exec" shadows the builtin; alias too
 
 __all__ = [
@@ -46,6 +48,7 @@ __all__ = [
     "exec",
     "mem",
     "noc",
+    "serve",
     "sim",
     "tlb",
     "vm",

@@ -5,6 +5,12 @@ keeps its name and semantics across releases, with deprecation cycles
 for any change.  Internal modules (``repro.sim.engine`` internals, TLB
 structures, NoC models, ...) may be imported directly for research, but
 only what is re-exported here is covered by that promise.
+:data:`VERSION` names the facade revision; bump it whenever the surface
+grows (see the migration table in DESIGN.md for what moved where).
+
+Legacy package-level entry points (``from repro.sim import simulate`` /
+``compare`` / ``run_suite``) still work but emit
+:class:`DeprecationWarning` — this module is their supported home.
 
 Typical use::
 
@@ -24,7 +30,8 @@ Typical use::
 from __future__ import annotations
 
 from repro.exec.cache import ResultCache, canonical_json, unit_key
-from repro.exec.runner import Runner
+from repro.exec.runner import Runner, execute_unit, unit_cost
+from repro.exec.trace_store import TraceStore, attach_workload
 from repro.faults import (
     ArbiterDrop,
     FaultAwareRouter,
@@ -74,6 +81,21 @@ from repro.sim.run import (
     run_suite,
     summarize_speedups,
 )
+from repro.serve import (
+    SCHEMA_VERSION,
+    SERVICE_CLASSES,
+    BackgroundDaemon,
+    JobManager,
+    JobResult,
+    JobStatus,
+    SchemaError,
+    ServeClient,
+    ServeConfig,
+    ServeDaemon,
+    ServeError,
+    SubmitRequest,
+    run_daemon,
+)
 from repro.sim.scenario import RunUnit, Scenario
 from repro.workloads.generators import (
     build_multiprogrammed,
@@ -82,12 +104,21 @@ from repro.workloads.generators import (
 from repro.workloads.registry import WORKLOAD_NAMES, WORKLOADS, get_workload
 from repro.workloads.spec import WorkloadSpec
 
+#: Facade revision.  Bumped whenever names are added to (or deprecated
+#: from) this surface; independent of the engine/telemetry versions.
+VERSION = "1.2.0"
+
 __all__ = [
+    "VERSION",
     # scenario & execution
     "Scenario",
     "RunUnit",
     "Runner",
     "ResultCache",
+    "TraceStore",
+    "attach_workload",
+    "execute_unit",
+    "unit_cost",
     "unit_key",
     "canonical_json",
     "ENGINE_VERSION",
@@ -135,6 +166,20 @@ __all__ = [
     "render_report",
     "load_obs_records",
     "write_obs_jsonl",
+    # serving
+    "SCHEMA_VERSION",
+    "SERVICE_CLASSES",
+    "SchemaError",
+    "SubmitRequest",
+    "JobStatus",
+    "JobResult",
+    "ServeConfig",
+    "JobManager",
+    "ServeDaemon",
+    "BackgroundDaemon",
+    "run_daemon",
+    "ServeClient",
+    "ServeError",
     # workloads
     "WorkloadSpec",
     "WORKLOADS",

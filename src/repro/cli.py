@@ -19,11 +19,24 @@ Commands:
   arbiter drops, dead slices) and print the speedup-vs-fault-rate
   curve with drop/fallback/degradation counters;
 * ``cache``      — inspect (``stats``), wipe (``clear``), or shrink
-  (``evict --max-bytes N``) the content-addressed result cache and the
-  materialized trace-artifact store.
+  (``evict --max-bytes N`` / ``--max-age-s N``) the content-addressed
+  result cache and the materialized trace-artifact store;
+* ``serve``      — run the persistent asyncio HTTP/JSON daemon
+  (:mod:`repro.serve`): scenario submissions, in-flight request
+  coalescing, per-client quotas, TTL result retention;
+* ``submit``     — submit a scenario to a running daemon and (by
+  default) wait for and print its speedup table;
+* ``status``     — job status / daemon health+metrics of a running
+  daemon.
 
-Note on flag names: ``run --trace PATH`` *loads* an ``.npz`` input
-trace; the event-trace *output* flag is therefore ``--trace-out``.
+Note on flag names: ``run --trace-in PATH`` (alias ``--trace``) *loads*
+an ``.npz`` input trace; the event-trace *output* flag is
+``--trace-out`` on every command that can observe a run.
+
+Shared flag groups are defined once as argparse *parent parsers*
+(:func:`_runner_parent`, :func:`_fault_parent`, :func:`_obs_parent`,
+:func:`_scenario_parent`) so ``run``/``sweep``/``faults``/``serve``/
+``submit`` cannot drift apart in spelling, defaults, or help text.
 
 ``run`` and ``sweep`` execute through :class:`repro.exec.Runner`:
 ``--jobs N`` fans independent simulations out over a process pool, and
@@ -154,6 +167,26 @@ def _faults_from(args: argparse.Namespace) -> Optional[FaultSpec]:
     )
 
 
+def _print_speedup_table(comparison) -> None:
+    """The per-config cycles/speedup table (run, submit --wait)."""
+    rows = []
+    for name, result in comparison.results.items():
+        rows.append(
+            [
+                name,
+                result.cycles,
+                result.speedup_over(comparison.baseline),
+                result.stats.l2_misses,
+                result.stats.walks,
+            ]
+        )
+    print(
+        render_table(
+            ["config", "cycles", "speedup", "L2 misses", "walks"], rows
+        )
+    )
+
+
 def _print_fault_summaries(comparisons) -> None:
     """Per-config degradation counters, printed only for faulty runs."""
     rows = []
@@ -213,22 +246,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             faults=faults,
         )
         lineup = runner.run_one(scenario)
-    rows = []
-    for name, result in lineup.results.items():
-        rows.append(
-            [
-                name,
-                result.cycles,
-                result.speedup_over(lineup.baseline),
-                result.stats.l2_misses,
-                result.stats.walks,
-            ]
-        )
-    print(
-        render_table(
-            ["config", "cycles", "speedup", "L2 misses", "walks"], rows
-        )
-    )
+    _print_speedup_table(lineup)
     _print_fault_summaries([lineup])
     _emit_obs(args, [lineup])
     _report_cache(runner)
@@ -436,18 +454,156 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"removed {removed} result(s) from {cache.root}")
         print(f"removed {artifacts} trace artifact(s) from {store.root}")
         return 0
-    # evict: results are tiny pickles, artifacts are the bulk — the
-    # size cap applies to the trace store only.
-    if args.max_bytes is None or args.max_bytes < 0:
-        raise SystemExit("cache evict needs --max-bytes >= 0")
-    before = store.stats()
-    removed = store.evict(args.max_bytes)
-    after = store.stats()
+    # evict: --max-bytes shrinks the trace store (artifacts are the
+    # bulk); --max-age-s applies the serving tier's TTL rule to the
+    # result cache.  At least one is required.
+    if args.max_bytes is None and args.max_age_s is None:
+        raise SystemExit("cache evict needs --max-bytes and/or --max-age-s")
+    if args.max_bytes is not None:
+        if args.max_bytes < 0:
+            raise SystemExit("cache evict needs --max-bytes >= 0")
+        before = store.stats()
+        removed = store.evict(args.max_bytes)
+        after = store.stats()
+        print(
+            f"evicted {removed} trace artifact(s) from {store.root} "
+            f"({before['bytes']} -> {after['bytes']} bytes)"
+        )
+    if args.max_age_s is not None:
+        if args.max_age_s < 0:
+            raise SystemExit("cache evict needs --max-age-s >= 0")
+        removed = cache.evict_older_than(args.max_age_s)
+        print(
+            f"evicted {removed} result(s) older than {args.max_age_s:g}s "
+            f"from {cache.root}"
+        )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the persistent HTTP/JSON simulation daemon."""
+    from repro.serve.daemon import run_daemon
+    from repro.serve.jobs import ServeConfig
+
+    if args.jobs < 0:
+        raise SystemExit(f"--jobs must be >= 0 for serve (got {args.jobs})")
+    config = ServeConfig(
+        workers=args.jobs,
+        quota=args.quota,
+        result_ttl_s=None if args.ttl <= 0 else args.ttl,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        trace_store=_trace_store_from(args),
+    )
+    return run_daemon(config, host=args.host, port=args.port)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a scenario to a running daemon; wait unless --no-wait."""
+    from repro.serve.client import ServeClient, ServeError
+    from repro.serve.schema import SchemaError, SubmitRequest
+    from repro.sim.run import Comparison
+
+    names = args.configs.split(",")
+    if "private" not in names:
+        names = ["private"] + names
+    metrics, trace = _obs_flags(args)
+    try:
+        request = SubmitRequest(
+            workload=args.workload,
+            configs=tuple(names),
+            cores=args.cores,
+            accesses_per_core=args.accesses,
+            seed=args.seed,
+            superpages=not args.no_superpages,
+            metrics=metrics,
+            trace=trace,
+            fault_rate=args.fault_rate,
+            fault_drop_prob=args.fault_drop_prob,
+            client_id=args.client,
+            service_class=args.service_class,
+        )
+    except SchemaError as exc:
+        raise SystemExit(str(exc))
+    client = ServeClient(args.url, timeout=args.timeout)
+    try:
+        info = client.submit(request)
+        job_id = info["job_id"]
+        print(
+            f"[serve] job {job_id} "
+            + ("coalesced onto an in-flight submission"
+               if info.get("coalesced")
+               else f"accepted ({info.get('units_cached', 0)} unit(s) "
+                    f"cached)"),
+            file=sys.stderr,
+        )
+        if args.no_wait:
+            print(job_id)
+            return 0
+        status = client.wait(job_id, timeout=args.timeout)
+        if status.state == "failed":
+            raise SystemExit(f"job {job_id} failed: {status.error}")
+        result = client.result(job_id)
+    except (ServeError, TimeoutError) as exc:
+        raise SystemExit(str(exc))
+    comparison = Comparison(result.workload, result.results, result.baseline)
+    _print_speedup_table(comparison)
+    _print_fault_summaries([comparison])
+    _emit_obs(args, [comparison])
     print(
-        f"evicted {removed} trace artifact(s) from {store.root} "
-        f"({before['bytes']} -> {after['bytes']} bytes)"
+        f"[serve] job {job_id}: queued {status.queued_s:.3f}s, "
+        f"ran {status.run_s:.3f}s, {status.units_cached}/"
+        f"{status.units_total} unit(s) from cache",
+        file=sys.stderr,
     )
     return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """One job's status — or daemon health+metrics without a job id."""
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    try:
+        if args.job_id:
+            status = client.status(args.job_id)
+            rows = [
+                [unit["config"], unit["state"], unit["cache"],
+                 f"{unit['build_s']:.3f}", f"{unit['sim_s']:.3f}"]
+                for unit in status.telemetry.get("units", [])
+            ]
+            print(
+                f"job {status.job_id}: {status.state} "
+                f"({status.units_done}/{status.units_total} unit(s), "
+                f"{status.units_cached} cached) workload={status.workload} "
+                f"class={status.service_class} "
+                f"clients={','.join(status.clients)}"
+            )
+            if status.error:
+                print(f"error: {status.error}")
+            if rows:
+                print(
+                    render_table(
+                        ["config", "state", "cache", "build s", "sim s"],
+                        rows,
+                    )
+                )
+            return 0
+        health = client.health()
+        counters = client.metrics().get("counters", {})
+        print(
+            f"daemon ok (engine {health.get('engine')}, schema "
+            f"{health.get('schema')}, {health.get('workers')} worker(s))"
+        )
+        if counters:
+            print(
+                render_table(
+                    ["metric", "value"],
+                    [[name, counters[name]] for name in sorted(counters)],
+                )
+            )
+        return 0
+    except ServeError as exc:
+        raise SystemExit(str(exc))
 
 
 def cmd_workloads(_args: argparse.Namespace) -> int:
@@ -533,54 +689,86 @@ def cmd_configs(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_obs_options(sub_parser: argparse.ArgumentParser) -> None:
-    sub_parser.add_argument(
+def _obs_parent() -> argparse.ArgumentParser:
+    """The observability flag group (--metrics / --trace-out).
+
+    Defined exactly once: every command that can observe a run shares
+    this parent parser, so the flags cannot drift in name, default, or
+    help text between commands.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--metrics", action="store_true",
         help="collect a metrics snapshot per run and print a report",
     )
-    sub_parser.add_argument(
+    parent.add_argument(
         "--trace-out", default="",
         help="write runs + event traces to this JSONL file for "
              "`repro report` (implies --metrics)",
     )
+    return parent
 
 
-def _add_fault_options(sub_parser: argparse.ArgumentParser) -> None:
-    sub_parser.add_argument(
+def _fault_parent() -> argparse.ArgumentParser:
+    """The fault-injection flag group (--fault-rate / --fault-drop-prob)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--fault-rate", type=float, default=0.0,
         help="fail this fraction of directed mesh links (default 0)",
     )
-    sub_parser.add_argument(
+    parent.add_argument(
         "--fault-drop-prob", type=float, default=0.0,
         help="transient arbiter drop probability per setup attempt "
              "(default 0)",
     )
+    return parent
 
 
-def _add_runner_options(sub_parser: argparse.ArgumentParser) -> None:
-    sub_parser.add_argument(
+def _runner_parent() -> argparse.ArgumentParser:
+    """The execution flag group (--jobs/--cache-dir/--trace-store...)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for independent simulations (default 1)",
     )
-    sub_parser.add_argument(
+    parent.add_argument(
         "--cache-dir", default=DEFAULT_CACHE_DIR,
         help="content-addressed result cache directory "
              f"(default {DEFAULT_CACHE_DIR!r})",
     )
-    sub_parser.add_argument(
+    parent.add_argument(
         "--no-cache", action="store_true",
         help="always simulate; neither read nor write the result cache",
     )
-    sub_parser.add_argument(
+    parent.add_argument(
         "--trace-store", default="",
         help="materialized trace artifact directory (default "
              "<cache-dir>/traces; used even with --no-cache when given "
              "explicitly)",
     )
-    sub_parser.add_argument(
+    parent.add_argument(
         "--no-trace-store", action="store_true",
         help="rebuild traces per run instead of materializing artifacts",
     )
+    return parent
+
+
+def _scenario_parent(accesses: int = 8_000) -> argparse.ArgumentParser:
+    """The scenario-shape flag group (--cores/--accesses/--seed/...).
+
+    Commands with a different natural ``--accesses`` default (sweeps
+    run lighter per point) get their own parent instance from this
+    factory — the flag definitions still live here, once.  (A child
+    ``set_defaults`` would not work: argparse parents share action
+    objects, so overriding a default on one command would leak into
+    every other.)
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--cores", type=int, default=16)
+    parent.add_argument("--accesses", type=int, default=accesses)
+    parent.add_argument("--seed", type=int, default=1)
+    parent.add_argument("--no-superpages", action="store_true")
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -590,12 +778,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_p = sub.add_parser("run", help="simulate one workload")
+    # Shared flag groups, defined once (see the module docstring):
+    # commands compose them via argparse `parents` so they cannot drift.
+    scenario = _scenario_parent()
+    # Sweeps run many points, so they default to a lighter workload; a
+    # separate parent instance keeps that default from leaking into the
+    # other commands (parents share action objects).
+    scenario_sweep = _scenario_parent(accesses=6_000)
+    runner = _runner_parent()
+    fault = _fault_parent()
+    obs = _obs_parent()
+
+    run_p = sub.add_parser(
+        "run", help="simulate one workload",
+        parents=[scenario, fault, runner, obs],
+    )
     run_p.add_argument("--workload", default="graph500")
-    run_p.add_argument("--cores", type=int, default=16)
-    run_p.add_argument("--accesses", type=int, default=8_000)
-    run_p.add_argument("--seed", type=int, default=1)
-    run_p.add_argument("--no-superpages", action="store_true")
     run_p.add_argument(
         "--configs",
         default="monolithic,distributed,nocstar,ideal",
@@ -603,45 +801,34 @@ def build_parser() -> argparse.ArgumentParser:
              "(see `repro configs` for the registry)",
     )
     run_p.add_argument(
-        "--trace", default="",
-        help="run a saved .npz trace instead of a synthetic workload",
+        "--trace-in", "--trace", dest="trace", default="",
+        help="run a saved .npz trace instead of a synthetic workload "
+             "(--trace is the historical alias; the event-trace output "
+             "flag is --trace-out)",
     )
-    _add_fault_options(run_p)
-    _add_runner_options(run_p)
-    _add_obs_options(run_p)
     run_p.set_defaults(func=cmd_run)
 
     export_p = sub.add_parser(
-        "export-trace", help="write a synthetic workload to a .npz trace"
+        "export-trace", help="write a synthetic workload to a .npz trace",
+        parents=[scenario],
     )
     export_p.add_argument("--workload", default="graph500")
-    export_p.add_argument("--cores", type=int, default=16)
-    export_p.add_argument("--accesses", type=int, default=8_000)
-    export_p.add_argument("--seed", type=int, default=1)
-    export_p.add_argument("--no-superpages", action="store_true")
     export_p.add_argument("--out", required=True)
     export_p.set_defaults(func=cmd_export_trace)
 
-    sweep_p = sub.add_parser("sweep", help="per-workload speedup sweep")
-    sweep_p.add_argument("--cores", type=int, default=16)
-    sweep_p.add_argument("--accesses", type=int, default=6_000)
-    sweep_p.add_argument("--seed", type=int, default=1)
-    sweep_p.add_argument("--no-superpages", action="store_true")
+    sweep_p = sub.add_parser(
+        "sweep", help="per-workload speedup sweep",
+        parents=[scenario_sweep, fault, runner, obs],
+    )
     sweep_p.add_argument("--workloads", default="",
                          help="comma-separated subset (default: all)")
-    _add_fault_options(sweep_p)
-    _add_runner_options(sweep_p)
-    _add_obs_options(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 
     faults_p = sub.add_parser(
-        "faults", help="fault-injection degradation sweep"
+        "faults", help="fault-injection degradation sweep",
+        parents=[scenario_sweep, runner, obs],
     )
     faults_p.add_argument("--workload", default="graph500")
-    faults_p.add_argument("--cores", type=int, default=16)
-    faults_p.add_argument("--accesses", type=int, default=6_000)
-    faults_p.add_argument("--seed", type=int, default=1)
-    faults_p.add_argument("--no-superpages", action="store_true")
     faults_p.add_argument(
         "--config", default="nocstar",
         help="configuration to degrade (default nocstar)",
@@ -668,8 +855,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="",
         help="also write the degradation curve to this JSON file",
     )
-    _add_runner_options(faults_p)
-    _add_obs_options(faults_p)
     faults_p.set_defaults(func=cmd_faults)
 
     cache_p = sub.add_parser(
@@ -692,7 +877,84 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-bytes", type=int, default=None,
         help="evict: target size for the trace store",
     )
+    cache_p.add_argument(
+        "--max-age-s", type=float, default=None,
+        help="evict: drop cached results older than this many seconds "
+             "(the serving tier's TTL rule, applied by hand)",
+    )
     cache_p.set_defaults(func=cmd_cache)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the persistent HTTP/JSON simulation daemon",
+        parents=[runner],
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=8787,
+        help="bind port; 0 picks an ephemeral port and prints it "
+             "(default 8787)",
+    )
+    serve_p.add_argument(
+        "--quota", type=int, default=8,
+        help="max active jobs per client; 0 disables quotas (default 8)",
+    )
+    serve_p.add_argument(
+        "--ttl", type=float, default=3600.0,
+        help="retention of finished jobs and cached results in seconds; "
+             "<= 0 disables the TTL sweep (default 3600)",
+    )
+    serve_p.set_defaults(func=cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit", help="submit a scenario to a running daemon",
+        parents=[scenario, fault, obs],
+    )
+    submit_p.add_argument("--workload", default="graph500")
+    submit_p.add_argument(
+        "--configs",
+        default="monolithic,distributed,nocstar,ideal",
+        help="comma-separated configuration names "
+             "(see `repro configs` for the registry)",
+    )
+    submit_p.add_argument(
+        "--url", default="http://127.0.0.1:8787",
+        help="daemon base URL (default http://127.0.0.1:8787)",
+    )
+    submit_p.add_argument(
+        "--client", default="cli",
+        help="client id for quota accounting (default 'cli')",
+    )
+    submit_p.add_argument(
+        "--service-class", choices=("interactive", "batch"),
+        default="interactive",
+        help="admission priority class (default interactive)",
+    )
+    submit_p.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and return instead of waiting for the "
+             "result (poll with `repro status JOB_ID`)",
+    )
+    submit_p.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="seconds to wait for the result (default 300)",
+    )
+    submit_p.set_defaults(func=cmd_submit)
+
+    status_p = sub.add_parser(
+        "status", help="job status / daemon health of a running daemon"
+    )
+    status_p.add_argument(
+        "job_id", nargs="?", default="",
+        help="job id from `repro submit`; omit for daemon health+metrics",
+    )
+    status_p.add_argument(
+        "--url", default="http://127.0.0.1:8787",
+        help="daemon base URL (default http://127.0.0.1:8787)",
+    )
+    status_p.set_defaults(func=cmd_status)
 
     wl_p = sub.add_parser("workloads", help="list the workload suite")
     wl_p.set_defaults(func=cmd_workloads)

@@ -27,6 +27,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from typing import Iterator, Optional
 
 import numpy as np
@@ -177,6 +178,30 @@ class ResultCache:
             try:
                 os.unlink(self._path(key))
                 removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def evict_older_than(self, max_age_s: float, now: Optional[float] = None) -> int:
+        """Delete entries last written more than ``max_age_s`` ago.
+
+        The serving tier's TTL sweep: results are content-addressed, so
+        an evicted entry costs at most one re-simulation — correctness
+        never depends on retention.  ``now`` is injectable for tests.
+        Returns how many entries were removed; races with concurrent
+        writers are benign (a vanished file is simply skipped).
+        """
+        if max_age_s < 0:
+            raise ValueError(f"max_age_s must be >= 0 (got {max_age_s})")
+        if now is None:
+            now = time.time()
+        removed = 0
+        for key in list(self.keys()):
+            path = self._path(key)
+            try:
+                if now - os.path.getmtime(path) > max_age_s:
+                    os.unlink(path)
+                    removed += 1
             except OSError:
                 pass
         return removed

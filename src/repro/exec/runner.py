@@ -118,13 +118,23 @@ def _config_cost(
     return cost
 
 
-def _unit_cost(unit: RunUnit) -> float:
+def unit_cost(unit: RunUnit) -> float:
+    """Estimated relative cost of one unit (the LPT scheduling weight).
+
+    Shared by the Runner's longest-first dispatch and the serving
+    tier's admission queue, so both layers order work by the same
+    calibrated model.
+    """
     return _config_cost(
         unit.config,
         unit.accesses_per_core * unit.smt,
         unit.storm,
         unit.shootdown,
     )
+
+
+#: Backwards-compatible private alias (pre-serve name).
+_unit_cost = unit_cost
 
 
 def _execute_task(task: _Task) -> Tuple[int, RunResult, float, float]:
@@ -172,6 +182,22 @@ def _execute_task(task: _Task) -> Tuple[int, RunResult, float, float]:
             trace=trace,
         )
     return task.index, result, built - start, time.perf_counter() - built
+
+
+def execute_unit(
+    unit: RunUnit, artifact: Optional[str] = None
+) -> Tuple[RunResult, float, float]:
+    """Execute one unit (attach-or-build) outside a Runner.
+
+    The serving tier's pool workers call this; it funnels into the same
+    :func:`_execute_task` body the Runner dispatches, which is what
+    makes an HTTP-submitted unit byte-identical to a CLI run of the
+    same unit.  Returns ``(result, build_s, sim_s)``.
+    """
+    _, result, build_s, sim_s = _execute_task(
+        _Task(index=0, cost=0.0, unit=unit, artifact=artifact, prebuilt=None)
+    )
+    return result, build_s, sim_s
 
 
 class Runner:

@@ -1,0 +1,78 @@
+"""``repro.serve`` — simulation-as-a-service over the Runner substrate.
+
+The serving tier wraps the execution machinery grown by the runner PRs
+into a persistent request/response service:
+
+* :mod:`repro.serve.schema` — the versioned wire contract
+  (:class:`SubmitRequest` / :class:`JobStatus` / :class:`JobResult`,
+  :data:`SCHEMA_VERSION`);
+* :mod:`repro.serve.jobs` — the async :class:`JobManager`: request
+  coalescing keyed on the result-cache unit key, (service class,
+  longest-first) admission over a long-lived worker pool, per-client
+  quotas, TTL retention, ``serve.*`` metrics;
+* :mod:`repro.serve.daemon` — the asyncio HTTP/JSON daemon
+  (``repro serve``) and the in-process :class:`BackgroundDaemon`
+  embedding harness;
+* :mod:`repro.serve.client` — the blocking :class:`ServeClient` behind
+  ``repro submit`` / ``repro status``.
+
+Invariant: a scenario submitted over HTTP returns the byte-identical
+:class:`~repro.sim.results.RunResult` a direct
+:class:`~repro.exec.runner.Runner` call produces (proven against the
+differential corpus in ``tests/serve/test_http.py``).
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    BackgroundDaemon,
+    ServeDaemon,
+    run_daemon,
+)
+from repro.serve.jobs import (
+    DEFAULT_TTL_S,
+    JobFailedError,
+    JobManager,
+    JobNotDoneError,
+    QuotaExceededError,
+    ServeConfig,
+    UnknownJobError,
+)
+from repro.serve.schema import (
+    JOB_STATES,
+    SCHEMA_VERSION,
+    SERVICE_CLASSES,
+    JobResult,
+    JobStatus,
+    SchemaError,
+    SubmitRequest,
+    decode_result,
+    encode_result,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SERVICE_CLASSES",
+    "JOB_STATES",
+    "SchemaError",
+    "SubmitRequest",
+    "JobStatus",
+    "JobResult",
+    "encode_result",
+    "decode_result",
+    "ServeConfig",
+    "JobManager",
+    "QuotaExceededError",
+    "UnknownJobError",
+    "JobNotDoneError",
+    "JobFailedError",
+    "DEFAULT_TTL_S",
+    "ServeDaemon",
+    "BackgroundDaemon",
+    "run_daemon",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "ServeClient",
+    "ServeError",
+]

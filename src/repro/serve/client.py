@@ -1,0 +1,168 @@
+"""Blocking HTTP client for the ``repro serve`` daemon.
+
+Stdlib-only (``urllib``), one request per call, schema-checked at every
+boundary: payloads are built by / decoded into the dataclasses of
+:mod:`repro.serve.schema`, so a version mismatch with the server is a
+:class:`~repro.serve.schema.SchemaError` rather than a misparsed field.
+
+Used by the ``repro submit`` / ``repro status`` CLI commands, the
+serve-smoke tooling, the load benchmark, and the test suite — i.e. it
+is *the* supported way to talk to the daemon from Python.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, Tuple
+
+from repro.serve.schema import (
+    JobResult,
+    JobStatus,
+    SubmitRequest,
+)
+
+
+class ServeError(RuntimeError):
+    """A non-2xx daemon response (or an unreachable daemon)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """A thin, schema-aware client bound to one daemon base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+
+    # Connection-burst errnos worth one more try: a reset/aborted
+    # handshake means the daemon's accept queue momentarily overflowed,
+    # not that it is down (refused/timeout errors still fail fast).
+    # Retrying is safe at every endpoint — submission is idempotent by
+    # design (identical requests coalesce onto the same job_id).
+    _TRANSIENT_ERRNOS = frozenset({errno.ECONNRESET, errno.ECONNABORTED})
+    _TRANSIENT_RETRIES = 3
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Tuple[int, Dict]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        for attempt in range(self._TRANSIENT_RETRIES + 1):
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    return response.status, json.loads(
+                        response.read() or b"{}"
+                    )
+            except urllib.error.HTTPError as exc:
+                try:
+                    decoded = json.loads(exc.read() or b"{}")
+                except (json.JSONDecodeError, OSError):
+                    decoded = {}
+                return exc.code, decoded
+            except (urllib.error.URLError, OSError) as exc:
+                cause = getattr(exc, "reason", exc)
+                transient = (
+                    getattr(cause, "errno", None) in self._TRANSIENT_ERRNOS
+                )
+                if transient and attempt < self._TRANSIENT_RETRIES:
+                    time.sleep(0.05 * (attempt + 1))
+                    continue
+                raise ServeError(
+                    0,
+                    f"daemon unreachable at {self.base_url}: {exc}",
+                ) from None
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _ok(self, status: int, payload: Dict) -> Dict:
+        if status != 200:
+            raise ServeError(status, str(payload.get("error", payload)))
+        return payload
+
+    # ------------------------------------------------------------------
+    # endpoints
+
+    def health(self) -> Dict:
+        return self._ok(*self._request("GET", "/v1/healthz"))
+
+    def metrics(self) -> Dict:
+        """The daemon's ``serve.*`` metrics snapshot."""
+        return self._ok(*self._request("GET", "/v1/metrics"))["metrics"]
+
+    def submit(self, request: SubmitRequest) -> Dict:
+        """Submit; returns ``{job_id, coalesced, units_cached, ...}``."""
+        return self._ok(
+            *self._request("POST", "/v1/submit", request.to_dict())
+        )
+
+    def status(self, job_id: str) -> JobStatus:
+        payload = self._ok(*self._request("GET", f"/v1/jobs/{job_id}"))
+        return JobStatus.from_dict(payload)
+
+    def result(self, job_id: str) -> JobResult:
+        payload = self._ok(
+            *self._request("GET", f"/v1/jobs/{job_id}/result")
+        )
+        return JobResult.from_dict(payload)
+
+    def shutdown(self) -> Dict:
+        return self._ok(*self._request("POST", "/v1/shutdown"))
+
+    # ------------------------------------------------------------------
+    # conveniences
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_s: float = 0.05,
+    ) -> JobStatus:
+        """Poll until the job reaches a terminal state.
+
+        Polling backs off geometrically from ``poll_s`` to 1 s — kind
+        to the daemon under thousands of concurrent clients while
+        staying snappy for interactive use.
+        """
+        deadline = time.monotonic() + timeout
+        delay = poll_s
+        while True:
+            status = self.status(job_id)
+            if status.done:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status.state!r} after {timeout}s"
+                )
+            time.sleep(delay)
+            delay = min(delay * 1.5, 1.0)
+
+    def run(
+        self,
+        request: SubmitRequest,
+        timeout: float = 300.0,
+        poll_s: float = 0.05,
+    ) -> JobResult:
+        """Submit, wait, and fetch the result in one call."""
+        job_id = self.submit(request)["job_id"]
+        status = self.wait(job_id, timeout=timeout, poll_s=poll_s)
+        if status.state == "failed":
+            raise ServeError(500, f"job failed: {status.error}")
+        return self.result(job_id)

@@ -1,0 +1,360 @@
+"""``repro serve`` — the asyncio HTTP/JSON daemon over the Runner.
+
+A deliberately small, dependency-free HTTP/1.0 server (stdlib asyncio
+only; one request per connection, ``Connection: close``) exposing the
+versioned API of :mod:`repro.serve.schema`:
+
+====== ============================ ========================================
+Method Path                         Meaning
+====== ============================ ========================================
+GET    ``/v1/healthz``              liveness + schema/engine versions
+POST   ``/v1/submit``               submit a :class:`SubmitRequest`;
+                                    returns ``{job_id, coalesced, ...}``
+GET    ``/v1/jobs/<id>``            :class:`JobStatus` snapshot
+GET    ``/v1/jobs/<id>/result``     :class:`JobResult` (409 until done)
+GET    ``/v1/metrics``              the ``serve.*`` metrics snapshot
+POST   ``/v1/shutdown``             drain and stop the daemon
+====== ============================ ========================================
+
+Error mapping: schema violations are 400, unknown jobs 404, quota
+rejections 429, results-not-ready 409, failed jobs 500 — always with a
+JSON body ``{"error": ..., "schema": SCHEMA_VERSION}``.
+
+Two entry points:
+
+* :func:`run_daemon` — the blocking CLI body (``repro serve``): binds,
+  prints the ``serving on http://host:port`` line, runs until a
+  ``/v1/shutdown`` POST or KeyboardInterrupt;
+* :class:`BackgroundDaemon` — the embedding harness: runs the same
+  daemon on a private event loop in a thread, for tests, benchmarks,
+  and applications that want a serving tier in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.serve.jobs import (
+    JobFailedError,
+    JobManager,
+    JobNotDoneError,
+    QuotaExceededError,
+    ServeConfig,
+    UnknownJobError,
+)
+from repro.serve.schema import (
+    SCHEMA_VERSION,
+    SchemaError,
+    SubmitRequest,
+)
+from repro.sim.engine import ENGINE_VERSION
+
+#: Default bind address of ``repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8787
+
+#: Submission bodies beyond this are rejected (a scenario description
+#: is a few hundred bytes; anything larger is a client bug).
+MAX_BODY_BYTES = 1 << 20
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+_JOB_PATH = re.compile(r"^/v1/jobs/([0-9a-f]{1,64})(/result)?$")
+
+
+class ServeDaemon:
+    """One bound server around one :class:`JobManager`."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+    ) -> None:
+        self.manager = JobManager(config)
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self) -> Tuple[str, int]:
+        """Start the manager and bind; returns the bound (host, port).
+
+        ``port=0`` binds an ephemeral port — the return value (and the
+        ``serving on`` line of :func:`run_daemon`) is how callers learn
+        the real one.
+        """
+        await self.manager.start()
+        # A deep accept backlog: load tests (and real bursts) open
+        # hundreds of connections in the same instant, and the default
+        # backlog (~100) answers the overflow with RST.
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, backlog=1024
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.port = sockname[1]
+        return sockname[0], sockname[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``/v1/shutdown`` POST flips the event."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.manager.close()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._respond_to(reader)
+        except Exception as exc:  # a handler bug must not kill the loop
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        payload.setdefault("schema", SCHEMA_VERSION)
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.0 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    async def _respond_to(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, {"error": f"malformed request line {request_line!r}"}
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, {"error": "bad Content-Length"}
+        if content_length > MAX_BODY_BYTES:
+            return 413, {"error": f"body exceeds {MAX_BODY_BYTES} bytes"}
+        body = (
+            await reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        return await self._route(method, path, body)
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict]:
+        if path == "/v1/healthz":
+            if method != "GET":
+                return 405, {"error": "healthz is GET"}
+            return 200, {
+                "ok": True,
+                "engine": ENGINE_VERSION,
+                "workers": self.manager.config.workers,
+            }
+        if path == "/v1/metrics":
+            if method != "GET":
+                return 405, {"error": "metrics is GET"}
+            return 200, {"metrics": self.manager.metrics_snapshot()}
+        if path == "/v1/submit":
+            if method != "POST":
+                return 405, {"error": "submit is POST"}
+            return await self._submit(body)
+        match = _JOB_PATH.match(path)
+        if match is not None:
+            if method != "GET":
+                return 405, {"error": "job endpoints are GET"}
+            job_id, want_result = match.group(1), bool(match.group(2))
+            return self._job(job_id, want_result)
+        if path == "/v1/shutdown":
+            if method != "POST":
+                return 405, {"error": "shutdown is POST"}
+            self._shutdown.set()
+            return 200, {"ok": True, "stopping": True}
+        return 404, {"error": f"no route {method} {path}"}
+
+    # ------------------------------------------------------------------
+    # handlers
+
+    async def _submit(self, body: bytes) -> Tuple[int, Dict]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {"error": f"body is not JSON: {exc}"}
+        try:
+            request = SubmitRequest.from_dict(payload)
+        except SchemaError as exc:
+            return 400, {"error": str(exc)}
+        try:
+            job_id, info = await self.manager.submit(request)
+        except QuotaExceededError as exc:
+            return 429, {"error": str(exc), "quota": exc.quota}
+        except SchemaError as exc:  # unknown workload/config names
+            return 400, {"error": str(exc)}
+        response = {"job_id": job_id}
+        response.update(info)
+        return 200, response
+
+    def _job(self, job_id: str, want_result: bool) -> Tuple[int, Dict]:
+        try:
+            if want_result:
+                return 200, self.manager.result(job_id).to_dict()
+            return 200, self.manager.status(job_id).to_dict()
+        except UnknownJobError:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        except JobNotDoneError as exc:
+            return 409, {"error": str(exc)}
+        except JobFailedError as exc:
+            return 500, {"error": f"job failed: {exc}"}
+
+
+def run_daemon(
+    config: Optional[ServeConfig] = None,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+) -> int:
+    """Blocking daemon body of the ``repro serve`` CLI command."""
+
+    async def _main() -> None:
+        daemon = ServeDaemon(config, host, port)
+        bound_host, bound_port = await daemon.start()
+        # The contract line tooling parses (tools/serve_smoke.py does).
+        print(f"serving on http://{bound_host}:{bound_port}", flush=True)
+        try:
+            await daemon.serve_until_shutdown()
+        finally:
+            await daemon.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+class BackgroundDaemon:
+    """The daemon on a private event loop in a thread (embedding).
+
+    Usage::
+
+        with BackgroundDaemon(ServeConfig(workers=0)) as url:
+            client = ServeClient(url)
+            ...
+
+    The context manager guarantees a clean stop (pool drained, loop
+    closed) even when the body raises.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+    ) -> None:
+        self._config = config
+        self._host = host
+        self._port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._daemon: Optional[ServeDaemon] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self.url: Optional[str] = None
+
+    def start(self) -> str:
+        """Start the loop thread; returns the daemon's base URL."""
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"daemon failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self.url
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+
+        async def _serve() -> None:
+            self._daemon = ServeDaemon(self._config, self._host, self._port)
+            try:
+                host, bound = await self._daemon.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self.url = f"http://{host}:{bound}"
+            self._ready.set()
+            await self._daemon.serve_until_shutdown()
+
+        try:
+            self._loop.run_until_complete(_serve())
+        finally:
+            self._loop.close()
+
+    @property
+    def manager(self) -> JobManager:
+        """The live manager (for white-box assertions in tests)."""
+        if self._daemon is None:
+            raise RuntimeError("daemon is not running")
+        return self._daemon.manager
+
+    def stop(self) -> None:
+        """Request shutdown and join the loop thread; idempotent."""
+        if self._loop is None or self._thread is None:
+            return
+        if self._thread.is_alive() and self._daemon is not None:
+            self._loop.call_soon_threadsafe(self._daemon._shutdown.set)
+        self._thread.join(timeout=30.0)
+        self._thread = None
+        self._loop = None
+        self._daemon = None
+
+    def __enter__(self) -> str:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,376 @@
+"""Versioned wire schema of the serving tier (``repro serve``).
+
+Every request and response that crosses the HTTP boundary is one of the
+dataclasses below, serialised to JSON with an explicit
+:data:`SCHEMA_VERSION` field.  The schema is the *compatibility
+contract* of the service: clients and servers negotiate nothing — a
+version mismatch is a hard :class:`SchemaError`, never a silent
+reinterpretation, so a stale client can only fail loudly.
+
+Three shapes cross the wire:
+
+* :class:`SubmitRequest` — a synthetic-workload scenario submission
+  (workload name, configuration lineup, cores/accesses/seed knobs,
+  fault-injection rates, observability flags) plus the two serving
+  fields that never reach the simulator: ``client_id`` (quota
+  accounting) and ``service_class`` (admission priority: interactive
+  requests are dispatched before batch).
+* :class:`JobStatus` — the lifecycle snapshot of one job: state, unit
+  progress, coalesced participants, queue/run timings, and a per-job
+  telemetry dict derived from :mod:`repro.obs`-style accounting.
+* :class:`JobResult` — the completed payload: one
+  :class:`~repro.sim.results.RunResult` per configuration, carried both
+  as a JSON summary (``as_dict``) for casual consumers and as an exact
+  pickled payload so HTTP round-trips stay *byte-identical* to direct
+  :class:`~repro.exec.runner.Runner` execution (the repo's enforced
+  determinism invariant — see ``tests/serve/test_http.py``).
+
+Coalescing identity: :meth:`SubmitRequest.canonical` is everything that
+determines the simulated outcome and nothing that does not — two
+requests with equal canonical forms share a job, and each of the job's
+:class:`~repro.sim.scenario.RunUnit` grains is keyed by the *existing*
+result-cache key (:func:`repro.exec.cache.unit_key`), so the serving
+tier dedups against CLI runs that share a cache directory.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import pickle
+from dataclasses import dataclass, field, fields
+from typing import Dict, Optional, Tuple
+
+from repro.exec.cache import canonical_json
+from repro.sim.results import RunResult
+
+#: Version of the request/response JSON layout.  Bump on any change to
+#: the field set or meaning of the dataclasses below; the daemon and
+#: client reject mismatched payloads outright.
+SCHEMA_VERSION = 1
+
+#: Admission-priority classes, best first.  Interactive jobs are always
+#: dispatched before batch jobs of any cost (the priority-traffic-class
+#: split of the analytical-model literature, applied at admission).
+SERVICE_CLASSES: Tuple[str, ...] = ("interactive", "batch")
+
+#: Job states, in lifecycle order.
+JOB_STATES: Tuple[str, ...] = ("queued", "running", "done", "failed")
+
+
+class SchemaError(ValueError):
+    """A payload that does not conform to :data:`SCHEMA_VERSION`."""
+
+
+def _check_schema(payload: Dict, what: str) -> None:
+    if not isinstance(payload, dict):
+        raise SchemaError(f"{what}: payload must be a JSON object")
+    version = payload.get("schema")
+    if version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"{what}: schema version {version!r} != {SCHEMA_VERSION} "
+            f"(client and server must agree)"
+        )
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """One scenario submission: a synthetic workload through a lineup."""
+
+    workload: str
+    configs: Tuple[str, ...] = ("private", "nocstar")
+    cores: int = 16
+    accesses_per_core: int = 8_000
+    seed: int = 1
+    superpages: bool = True
+    smt: int = 1
+    metrics: bool = False
+    trace: bool = False
+    fault_rate: float = 0.0
+    fault_drop_prob: float = 0.0
+    #: Serving-tier fields — they never reach the simulator and are
+    #: excluded from the coalescing identity.
+    client_id: str = "anonymous"
+    service_class: str = "interactive"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "configs", tuple(self.configs))
+        if not self.workload:
+            raise SchemaError("workload must be a non-empty name")
+        if not self.configs:
+            raise SchemaError("configs must name at least one configuration")
+        if self.cores < 1:
+            raise SchemaError(f"cores must be >= 1 (got {self.cores})")
+        if self.accesses_per_core < 1:
+            raise SchemaError(
+                f"accesses_per_core must be >= 1 (got {self.accesses_per_core})"
+            )
+        if self.smt < 1:
+            raise SchemaError(f"smt must be >= 1 (got {self.smt})")
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise SchemaError("fault_rate must be in [0, 1]")
+        if not 0.0 <= self.fault_drop_prob <= 1.0:
+            raise SchemaError("fault_drop_prob must be in [0, 1]")
+        if self.service_class not in SERVICE_CLASSES:
+            raise SchemaError(
+                f"service_class {self.service_class!r} not in "
+                f"{SERVICE_CLASSES}"
+            )
+        if not self.client_id:
+            raise SchemaError("client_id must be non-empty")
+
+    # -- identity ------------------------------------------------------
+
+    def canonical(self) -> Dict[str, object]:
+        """The outcome-determining fields (coalescing identity)."""
+        return {
+            "workload": self.workload,
+            "configs": list(self.configs),
+            "cores": self.cores,
+            "accesses_per_core": self.accesses_per_core,
+            "seed": self.seed,
+            "superpages": self.superpages,
+            "smt": self.smt,
+            "metrics": self.metrics,
+            "trace": self.trace,
+            "fault_rate": self.fault_rate,
+            "fault_drop_prob": self.fault_drop_prob,
+        }
+
+    def job_id(self) -> str:
+        """Deterministic job identity: hash of the canonical form.
+
+        Identical submissions — from any client — share a job id, which
+        is what makes coalescing an address-lookup rather than a scan.
+        """
+        blob = canonical_json(self.canonical())
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    # -- simulator hand-off --------------------------------------------
+
+    def scenario(self):
+        """The :class:`~repro.sim.scenario.Scenario` this request names.
+
+        Raises :class:`SchemaError` for unknown workload/config names so
+        the daemon can reject bad submissions with a 400 instead of
+        crashing a worker.
+        """
+        from repro.faults.models import ArbiterDrop, FaultSpec, LinkFailure
+        from repro.sim import configs as cfg
+        from repro.sim.scenario import Scenario
+        from repro.workloads.registry import get_workload
+
+        try:
+            lineup = tuple(
+                cfg.build_config(name, self.cores) for name in self.configs
+            )
+        except KeyError as exc:
+            known = ", ".join(cfg.available_configs())
+            raise SchemaError(
+                f"unknown config {exc.args[0]!r}; known: {known}"
+            ) from None
+        try:
+            spec = get_workload(self.workload)
+        except KeyError:
+            raise SchemaError(f"unknown workload {self.workload!r}") from None
+        faults = None
+        if self.fault_rate > 0.0 or self.fault_drop_prob > 0.0:
+            faults = FaultSpec(
+                links=LinkFailure(rate=self.fault_rate),
+                arbiter=ArbiterDrop(probability=self.fault_drop_prob),
+            )
+        try:
+            return Scenario(
+                configurations=lineup,
+                workloads=(spec,),
+                accesses_per_core=self.accesses_per_core,
+                seed=self.seed,
+                superpages=self.superpages,
+                smt=self.smt,
+                # The registry key and the built config's name can
+                # differ ("monolithic" builds "monolithic-mesh"); the
+                # scenario speaks config names.
+                baseline_name=lineup[0].name,
+                metrics=self.metrics,
+                trace=self.trace,
+                faults=faults,
+            )
+        except ValueError as exc:
+            raise SchemaError(str(exc)) from None
+
+    # -- wire form -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        out = {"schema": SCHEMA_VERSION}
+        out.update(self.canonical())
+        out["client_id"] = self.client_id
+        out["service_class"] = self.service_class
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "SubmitRequest":
+        _check_schema(payload, "SubmitRequest")
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known - {"schema"}
+        if unknown:
+            raise SchemaError(
+                f"SubmitRequest: unknown field(s) {sorted(unknown)} — "
+                f"bump SCHEMA_VERSION to extend the wire format"
+            )
+        kwargs = {}
+        for f in fields(cls):
+            if f.name in payload:
+                value = payload[f.name]
+                if f.name == "configs":
+                    if not isinstance(value, (list, tuple)) or not all(
+                        isinstance(item, str) for item in value
+                    ):
+                        raise SchemaError("configs must be a list of names")
+                    value = tuple(value)
+                kwargs[f.name] = value
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise SchemaError(f"SubmitRequest: {exc}") from None
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """Lifecycle snapshot of one job, as reported over the wire."""
+
+    job_id: str
+    state: str
+    workload: str
+    configs: Tuple[str, ...]
+    service_class: str
+    #: Sorted distinct client ids coalesced onto this job.
+    clients: Tuple[str, ...]
+    units_total: int
+    units_done: int
+    units_cached: int
+    queued_s: float
+    run_s: float
+    error: Optional[str] = None
+    #: Per-job telemetry (repro.obs-style accounting): per-unit
+    #: build/sim wall seconds, scheduling cost estimates, cache states.
+    telemetry: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def done(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "job_id": self.job_id,
+            "state": self.state,
+            "workload": self.workload,
+            "configs": list(self.configs),
+            "service_class": self.service_class,
+            "clients": list(self.clients),
+            "units_total": self.units_total,
+            "units_done": self.units_done,
+            "units_cached": self.units_cached,
+            "queued_s": self.queued_s,
+            "run_s": self.run_s,
+            "error": self.error,
+            "telemetry": self.telemetry,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "JobStatus":
+        _check_schema(payload, "JobStatus")
+        try:
+            return cls(
+                job_id=payload["job_id"],
+                state=payload["state"],
+                workload=payload["workload"],
+                configs=tuple(payload["configs"]),
+                service_class=payload["service_class"],
+                clients=tuple(payload["clients"]),
+                units_total=payload["units_total"],
+                units_done=payload["units_done"],
+                units_cached=payload["units_cached"],
+                queued_s=payload["queued_s"],
+                run_s=payload["run_s"],
+                error=payload.get("error"),
+                telemetry=payload.get("telemetry", {}),
+            )
+        except KeyError as exc:
+            raise SchemaError(f"JobStatus: missing field {exc}") from None
+
+
+def encode_result(result: RunResult) -> Dict[str, object]:
+    """Wire form of one RunResult: JSON summary + exact pickle payload.
+
+    The summary (``as_dict``) serves dashboards and non-Python clients;
+    the base64 pickle is the byte-exact artifact (results are trusted
+    local values, stored with pickle by the result cache already) that
+    lets :func:`decode_result` reconstruct the *identical* RunResult the
+    Runner would have returned.
+    """
+    return {
+        "summary": result.as_dict(),
+        "payload": base64.b64encode(
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii"),
+    }
+
+
+def decode_result(encoded: Dict) -> RunResult:
+    """Inverse of :func:`encode_result`."""
+    try:
+        payload = base64.b64decode(encoded["payload"])
+        result = pickle.loads(payload)
+    except (KeyError, TypeError, ValueError, pickle.UnpicklingError) as exc:
+        raise SchemaError(f"undecodable result payload: {exc}") from None
+    if not isinstance(result, RunResult):
+        raise SchemaError(
+            f"result payload decoded to {type(result).__name__}, "
+            f"not RunResult"
+        )
+    return result
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """The completed payload of one job: per-config RunResults."""
+
+    job_id: str
+    workload: str
+    baseline: str
+    #: Configuration name -> exact RunResult, in lineup order.
+    results: Dict[str, RunResult]
+
+    def speedup(self, config_name: str) -> float:
+        return self.results[config_name].speedup_over(
+            self.results[self.baseline]
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "job_id": self.job_id,
+            "workload": self.workload,
+            "baseline": self.baseline,
+            "results": {
+                name: encode_result(result)
+                for name, result in self.results.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "JobResult":
+        _check_schema(payload, "JobResult")
+        try:
+            return cls(
+                job_id=payload["job_id"],
+                workload=payload["workload"],
+                baseline=payload["baseline"],
+                results={
+                    name: decode_result(encoded)
+                    for name, encoded in payload["results"].items()
+                },
+            )
+        except KeyError as exc:
+            raise SchemaError(f"JobResult: missing field {exc}") from None

@@ -1,0 +1,53 @@
+"""The serve-side differential corpus: the wire-expressible projection
+of ``tests/_corpus.py``.
+
+The engine differential corpus spans every interconnect model, faults,
+observability combinations, and pathological traffic.  Storm/shootdown
+schedules and pinned fault plans have no wire form (deliberately — the
+schema carries only registry names and scalar knobs), so the serving
+corpus mirrors the same diversity through what :class:`SubmitRequest`
+can express: all ten registered configurations, fault rates,
+metrics/trace flags, superpage and SMT variation, and multi-config
+lineups.
+"""
+
+from repro.serve.schema import SubmitRequest
+
+
+def serve_corpus():
+    """Sixteen ``(name, SubmitRequest)`` pairs, cheap but diverse."""
+    base = dict(cores=8, accesses_per_core=400, seed=13)
+    entries = [
+        ("private-gups", dict(workload="gups", configs=("private",))),
+        ("monolithic-mesh", dict(workload="graph500", configs=("monolithic",))),
+        ("monolithic-smart",
+         dict(workload="graph500", configs=("monolithic-smart",))),
+        ("distributed-mesh", dict(workload="canneal", configs=("distributed",))),
+        ("distributed-bus", dict(workload="gups", configs=("distributed-bus",))),
+        ("distributed-fbfly-wide",
+         dict(workload="olio", configs=("distributed-fbfly-wide",))),
+        ("distributed-fbfly-narrow",
+         dict(workload="xsbench", configs=("distributed-fbfly-narrow",))),
+        ("nocstar", dict(workload="graph500", configs=("nocstar",))),
+        ("nocstar-4k",
+         dict(workload="gups", configs=("nocstar",), superpages=False)),
+        ("nocstar-ideal", dict(workload="olio", configs=("nocstar-ideal",))),
+        ("ideal", dict(workload="canneal", configs=("ideal",))),
+        ("nocstar-observed",
+         dict(workload="graph500", configs=("nocstar",),
+              metrics=True, trace=True)),
+        ("distributed-faulty-observed",
+         dict(workload="gups", configs=("distributed",),
+              fault_rate=0.1, metrics=True)),
+        ("nocstar-faulty",
+         dict(workload="olio", configs=("nocstar",),
+              fault_rate=0.1, fault_drop_prob=0.05)),
+        ("lineup-pair", dict(workload="gups", configs=("private", "nocstar"))),
+        ("lineup-smt",
+         dict(workload="olio",
+              configs=("private", "distributed", "nocstar"), smt=2)),
+    ]
+    return [
+        (name, SubmitRequest(**{**base, **kwargs}))
+        for name, kwargs in entries
+    ]

@@ -1,0 +1,239 @@
+"""End-to-end HTTP contract, including the determinism invariant:
+an HTTP-submitted scenario returns the byte-identical RunResult a
+direct Runner call produces, across the serve differential corpus."""
+
+import http.client
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.exec.runner import Runner
+from repro.serve import (
+    SCHEMA_VERSION,
+    BackgroundDaemon,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+)
+from repro.serve import jobs as jobs_mod
+from repro.serve.schema import SubmitRequest
+
+from tests.serve._requests import serve_corpus
+
+
+def _request(**overrides):
+    base = dict(workload="gups", configs=("private", "nocstar"),
+                cores=4, accesses_per_core=200, seed=3)
+    base.update(overrides)
+    return SubmitRequest(**base)
+
+
+@pytest.fixture()
+def daemon():
+    with BackgroundDaemon(ServeConfig(workers=0, quota=0)) as url:
+        yield ServeClient(url, timeout=30.0)
+
+
+# ----------------------------------------------------------------------
+# determinism invariant
+
+def test_corpus_http_byte_identical_to_direct_runner():
+    """The repo's enforced invariant, extended to the serving tier."""
+    corpus = serve_corpus()
+    assert len(corpus) == 16
+    runner = Runner(jobs=1, cache_dir=None)
+    with BackgroundDaemon(ServeConfig(workers=0, quota=0)) as url:
+        client = ServeClient(url, timeout=60.0)
+        for name, request in corpus:
+            served = client.run(request, timeout=300.0)
+            scenario = request.scenario()
+            direct = runner.run_one(scenario)
+            assert set(served.results) == set(direct.results), name
+            for config_name, direct_result in direct.results.items():
+                assert pickle.dumps(served.results[config_name]) == \
+                    pickle.dumps(direct_result), (name, config_name)
+            assert served.baseline == scenario.baseline_name, name
+
+
+def test_process_pool_round_trip_byte_identical():
+    """Same invariant through the real worker-process pool."""
+    request = _request(metrics=True, trace=True)
+    direct = Runner(jobs=1, cache_dir=None).run_one(request.scenario())
+    with BackgroundDaemon(ServeConfig(workers=2, quota=0)) as url:
+        served = ServeClient(url, timeout=60.0).run(request, timeout=300.0)
+    for name, result in direct.results.items():
+        assert pickle.dumps(served.results[name]) == pickle.dumps(result)
+
+
+# ----------------------------------------------------------------------
+# concurrency over the wire
+
+def test_concurrent_http_submissions_coalesce():
+    request = _request()
+    fanout = 12
+    with BackgroundDaemon(ServeConfig(workers=0, quota=0)) as url:
+        client = ServeClient(url, timeout=30.0)
+        responses = [None] * fanout
+        errors = []
+
+        def submit(i):
+            try:
+                responses[i] = client.submit(request)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=submit, args=(i,))
+            for i in range(fanout)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        job_ids = {r["job_id"] for r in responses}
+        assert len(job_ids) == 1
+        (job_id,) = job_ids
+        client.wait(job_id, timeout=300.0)
+        results = [client.result(job_id) for _ in range(3)]
+        blobs = {pickle.dumps(r.results) for r in results}
+        assert len(blobs) == 1
+
+
+# ----------------------------------------------------------------------
+# status & metrics surfaces
+
+def test_health_status_and_metrics(daemon):
+    health = daemon.health()
+    assert health["ok"] and health["workers"] == 0
+    response = daemon.submit(_request())
+    job_id = response["job_id"]
+    status = daemon.wait(job_id, timeout=300.0)
+    assert status.state == "done"
+    assert status.units_total == 2 and status.units_done == 2
+    assert [u["config"] for u in status.telemetry["units"]] == \
+        ["private", "nocstar"]
+    metrics = daemon.metrics()
+    assert metrics["counters"]["serve.executions"] == 2
+    assert metrics["counters"]["serve.completed_jobs"] == 1
+    assert "serve.exec_ms" in metrics["histograms"]
+    result = daemon.result(job_id)
+    assert result.speedup("nocstar") > 0.0
+
+
+# ----------------------------------------------------------------------
+# error mapping
+
+def test_error_codes(daemon):
+    # 404: unknown job (well-formed id), unknown route.
+    status, payload = daemon._request("GET", "/v1/jobs/" + "0" * 16)
+    assert status == 404 and "unknown job" in payload["error"]
+    status, _ = daemon._request("GET", "/v1/nope")
+    assert status == 404
+    # 405: wrong method.
+    status, _ = daemon._request("POST", "/v1/healthz", {})
+    assert status == 405
+    status, _ = daemon._request("GET", "/v1/shutdown")
+    assert status == 405
+    # 400: schema violations.
+    status, payload = daemon._request("POST", "/v1/submit", {"workload": "gups"})
+    assert status == 400 and "schema version" in payload["error"]
+    bad = _request().to_dict()
+    bad["workload"] = "doom"
+    status, payload = daemon._request("POST", "/v1/submit", bad)
+    assert status == 400 and "unknown workload" in payload["error"]
+    bad = _request().to_dict()
+    bad["turbo"] = True
+    status, payload = daemon._request("POST", "/v1/submit", bad)
+    assert status == 400 and "unknown field" in payload["error"]
+    # Every error body carries the schema version.
+    assert payload["schema"] == SCHEMA_VERSION
+
+
+def test_malformed_http(daemon):
+    host, port = daemon.base_url[len("http://"):].split(":")
+    connection = http.client.HTTPConnection(host, int(port), timeout=10.0)
+    connection.request(
+        "POST", "/v1/submit", body=b"{not json",
+        headers={"Content-Type": "application/json"},
+    )
+    response = connection.getresponse()
+    assert response.status == 400
+    assert b"not JSON" in response.read()
+    connection.close()
+
+
+def test_result_before_done_is_409(daemon, monkeypatch):
+    def slow_execute(unit, artifact=None):
+        time.sleep(0.3)
+        return slow_execute.real(unit, artifact)
+
+    slow_execute.real = jobs_mod.execute_unit
+    monkeypatch.setattr(jobs_mod, "execute_unit", slow_execute)
+    job_id = daemon.submit(_request(configs=("nocstar",)))["job_id"]
+    status, payload = daemon._request("GET", f"/v1/jobs/{job_id}/result")
+    assert status == 409
+    daemon.wait(job_id, timeout=300.0)
+    daemon.result(job_id)  # now succeeds
+
+
+def test_quota_maps_to_429(monkeypatch):
+    def slow_execute(unit, artifact=None):
+        time.sleep(0.3)
+        return slow_execute.real(unit, artifact)
+
+    slow_execute.real = jobs_mod.execute_unit
+    monkeypatch.setattr(jobs_mod, "execute_unit", slow_execute)
+    with BackgroundDaemon(ServeConfig(workers=0, quota=1)) as url:
+        client = ServeClient(url, timeout=30.0)
+        first = client.submit(_request(seed=1, configs=("nocstar",)))
+        status, payload = client._request(
+            "POST", "/v1/submit",
+            _request(seed=2, configs=("nocstar",)).to_dict(),
+        )
+        assert status == 429 and payload["quota"] == 1
+        with pytest.raises(ServeError) as excinfo:
+            client.run(_request(seed=3, configs=("nocstar",)))
+        assert excinfo.value.status == 429
+        client.wait(first["job_id"], timeout=300.0)
+
+
+def test_failed_job_maps_to_500(monkeypatch):
+    def boom(unit, artifact=None):
+        raise RuntimeError("sabotaged engine")
+
+    monkeypatch.setattr(jobs_mod, "execute_unit", boom)
+    with BackgroundDaemon(ServeConfig(workers=0, quota=0)) as url:
+        client = ServeClient(url, timeout=30.0)
+        job_id = client.submit(_request(configs=("nocstar",)))["job_id"]
+        status = client.wait(job_id, timeout=300.0)
+        assert status.state == "failed"
+        http_status, payload = client._request(
+            "GET", f"/v1/jobs/{job_id}/result"
+        )
+        assert http_status == 500 and "sabotaged" in payload["error"]
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+
+def test_shutdown_endpoint_stops_daemon():
+    background = BackgroundDaemon(ServeConfig(workers=0, quota=0))
+    url = background.start()
+    client = ServeClient(url, timeout=10.0)
+    assert client.health()["ok"]
+    assert client.shutdown()["stopping"]
+    background._thread.join(timeout=10.0)
+    with pytest.raises(ServeError):
+        client.health()
+    background.stop()  # idempotent
+
+
+def test_ephemeral_ports_isolate_daemons():
+    with BackgroundDaemon(ServeConfig(workers=0)) as url_a:
+        with BackgroundDaemon(ServeConfig(workers=0)) as url_b:
+            assert url_a != url_b
+            assert ServeClient(url_a).health()["ok"]
+            assert ServeClient(url_b).health()["ok"]

@@ -1,0 +1,169 @@
+"""Wire-schema contract: validation, versioning, identity, payloads."""
+
+import pickle
+
+import pytest
+
+from repro.serve.schema import (
+    SCHEMA_VERSION,
+    JobResult,
+    JobStatus,
+    SchemaError,
+    SubmitRequest,
+    decode_result,
+    encode_result,
+)
+from repro.sim.engine import simulate
+from repro.sim import configs as cfg
+from repro.workloads.generators import build_multithreaded
+from repro.workloads.registry import get_workload
+
+
+def _request(**overrides):
+    base = dict(workload="gups", configs=("private", "nocstar"),
+                cores=4, accesses_per_core=200, seed=3)
+    base.update(overrides)
+    return SubmitRequest(**base)
+
+
+def _result():
+    workload = build_multithreaded(
+        get_workload("gups"), 4, accesses_per_core=200, seed=3
+    )
+    return simulate(cfg.nocstar(4), workload)
+
+
+# ----------------------------------------------------------------------
+# SubmitRequest
+
+def test_submit_round_trip():
+    request = _request(metrics=True, fault_rate=0.05, client_id="alice",
+                       service_class="batch")
+    assert SubmitRequest.from_dict(request.to_dict()) == request
+
+
+def test_submit_rejects_wrong_schema_version():
+    payload = _request().to_dict()
+    payload["schema"] = SCHEMA_VERSION + 1
+    with pytest.raises(SchemaError, match="schema version"):
+        SubmitRequest.from_dict(payload)
+    with pytest.raises(SchemaError, match="schema version"):
+        SubmitRequest.from_dict({"workload": "gups"})  # missing entirely
+
+
+def test_submit_rejects_unknown_fields():
+    payload = _request().to_dict()
+    payload["turbo"] = True
+    with pytest.raises(SchemaError, match="unknown field"):
+        SubmitRequest.from_dict(payload)
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        dict(workload=""),
+        dict(configs=()),
+        dict(cores=0),
+        dict(accesses_per_core=0),
+        dict(smt=0),
+        dict(fault_rate=1.5),
+        dict(fault_drop_prob=-0.1),
+        dict(service_class="best-effort"),
+        dict(client_id=""),
+    ],
+)
+def test_submit_validation(overrides):
+    with pytest.raises(SchemaError):
+        _request(**overrides)
+
+
+def test_submit_configs_must_be_names():
+    payload = _request().to_dict()
+    payload["configs"] = [1, 2]
+    with pytest.raises(SchemaError, match="list of names"):
+        SubmitRequest.from_dict(payload)
+
+
+def test_job_id_ignores_serving_fields():
+    """client_id/service_class never reach the simulator, so two
+    submissions differing only there must coalesce onto one job."""
+    a = _request(client_id="alice", service_class="interactive")
+    b = _request(client_id="bob", service_class="batch")
+    assert a.job_id() == b.job_id()
+    assert "client_id" not in a.canonical()
+    assert "service_class" not in a.canonical()
+
+
+def test_job_id_tracks_outcome_fields():
+    assert _request().job_id() != _request(seed=4).job_id()
+    assert _request().job_id() != _request(metrics=True).job_id()
+
+
+def test_scenario_rejects_unknown_names():
+    with pytest.raises(SchemaError, match="unknown config"):
+        _request(configs=("hyperloop",)).scenario()
+    with pytest.raises(SchemaError, match="unknown workload"):
+        _request(workload="doom").scenario()
+
+
+def test_scenario_shape():
+    request = _request(fault_rate=0.1, trace=True)
+    scenario = request.scenario()
+    assert tuple(c.name for c in scenario.configurations) == request.configs
+    assert scenario.baseline_name == "private"
+    assert scenario.trace and scenario.faults is not None
+
+
+# ----------------------------------------------------------------------
+# result payloads
+
+def test_result_encode_decode_byte_identical():
+    result = _result()
+    decoded = decode_result(encode_result(result))
+    assert pickle.dumps(decoded) == pickle.dumps(result)
+
+
+def test_decode_result_rejects_garbage():
+    with pytest.raises(SchemaError):
+        decode_result({"summary": {}})
+    with pytest.raises(SchemaError):
+        decode_result({"payload": "not base64 pickle!!"})
+
+
+def test_job_result_round_trip_and_speedup():
+    workload = build_multithreaded(
+        get_workload("gups"), 4, accesses_per_core=200, seed=3
+    )
+    results = {
+        "private": simulate(cfg.private(4), workload),
+        "nocstar": simulate(cfg.nocstar(4), workload),
+    }
+    job = JobResult(job_id="abc", workload="gups", baseline="private",
+                    results=results)
+    back = JobResult.from_dict(job.to_dict())
+    assert back.speedup("nocstar") == job.speedup("nocstar")
+    for name in results:
+        assert pickle.dumps(back.results[name]) == \
+            pickle.dumps(results[name])
+
+
+def test_job_status_round_trip():
+    status = JobStatus(
+        job_id="abc", state="running", workload="gups",
+        configs=("private", "nocstar"), service_class="interactive",
+        clients=("alice", "bob"), units_total=2, units_done=1,
+        units_cached=0, queued_s=0.5, run_s=1.5,
+        telemetry={"engine": 1, "units": []},
+    )
+    back = JobStatus.from_dict(status.to_dict())
+    assert back == status
+    assert not back.done
+    assert JobStatus.from_dict(
+        {**status.to_dict(), "state": "done"}
+    ).done
+
+
+def test_job_status_missing_field():
+    payload = {"schema": SCHEMA_VERSION, "job_id": "abc"}
+    with pytest.raises(SchemaError, match="missing field"):
+        JobStatus.from_dict(payload)

@@ -1,0 +1,58 @@
+"""The ``repro.api`` facade contract and the legacy deprecation shim."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import api
+
+
+def test_all_names_resolve():
+    for name in api.__all__:
+        assert getattr(api, name) is not None, name
+
+
+def test_facade_versioned():
+    assert api.VERSION == repro.__version__
+
+
+def test_serve_surface_on_facade():
+    request = api.SubmitRequest(workload="gups", configs=("nocstar",))
+    assert request.job_id()
+    assert api.SCHEMA_VERSION >= 1
+    for name in ("ServeClient", "ServeConfig", "JobManager",
+                 "BackgroundDaemon", "run_daemon", "TraceStore",
+                 "execute_unit", "unit_cost"):
+        assert name in api.__all__
+
+
+@pytest.mark.parametrize("name", ["simulate", "compare", "run_suite"])
+def test_legacy_sim_imports_warn(name):
+    import repro.sim
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        legacy = getattr(repro.sim, name)
+    assert any(
+        issubclass(w.category, DeprecationWarning)
+        and "repro.api" in str(w.message)
+        for w in caught
+    )
+    # The shim forwards to the same object the facade exports.
+    assert legacy is getattr(api, name)
+
+
+def test_deep_module_imports_stay_clean():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        from repro.sim.engine import simulate  # noqa: F401
+        from repro.sim.run import compare, run_suite  # noqa: F401
+        from repro.sim import configs  # noqa: F401
+
+
+def test_unknown_sim_attribute_raises():
+    import repro.sim
+
+    with pytest.raises(AttributeError):
+        repro.sim.hyperdrive

@@ -174,3 +174,127 @@ def test_run_command_metrics_off_prints_no_report(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "translation latency" not in out
+
+
+# ----------------------------------------------------------------------
+# shared flag groups (parent parsers) and the serving commands
+
+
+def test_shared_flag_groups_per_command_defaults():
+    """run/export-trace/submit keep the full 8k default while the
+    sweep-style commands default lighter — and a per-command override
+    must not leak through the shared parent parsers."""
+    parser = build_parser()
+    assert parser.parse_args(["run"]).accesses == 8_000
+    assert parser.parse_args(
+        ["export-trace", "--out", "x.npz"]
+    ).accesses == 8_000
+    assert parser.parse_args(["submit"]).accesses == 8_000
+    assert parser.parse_args(["sweep"]).accesses == 6_000
+    assert parser.parse_args(["faults"]).accesses == 6_000
+
+
+def test_shared_runner_flags_everywhere():
+    """The runner flag group is identical across commands by
+    construction; spot-check it parses uniformly."""
+    parser = build_parser()
+    for command in (["run"], ["sweep"], ["faults"], ["serve"]):
+        ns = parser.parse_args(
+            command + ["--jobs", "3", "--cache-dir", "/tmp/c", "--no-cache"]
+        )
+        assert ns.jobs == 3 and ns.cache_dir == "/tmp/c" and ns.no_cache
+
+
+def test_run_trace_in_alias():
+    parser = build_parser()
+    assert parser.parse_args(["run", "--trace-in", "t.npz"]).trace == "t.npz"
+    assert parser.parse_args(["run", "--trace", "t.npz"]).trace == "t.npz"
+
+
+def test_serve_flag_parsing():
+    ns = build_parser().parse_args(
+        ["serve", "--port", "0", "--jobs", "0", "--quota", "2",
+         "--ttl", "60"]
+    )
+    assert ns.port == 0 and ns.jobs == 0 and ns.quota == 2 and ns.ttl == 60
+
+
+def test_submit_and_status_against_daemon(capsys):
+    from repro.serve import BackgroundDaemon, ServeConfig
+
+    with BackgroundDaemon(ServeConfig(workers=0, quota=0)) as url:
+        code = main(
+            [
+                "submit", "--url", url, "--workload", "olio",
+                "--cores", "4", "--accesses", "600",
+                "--configs", "nocstar",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "speedup" in captured.out and "private" in captured.out
+        assert "[serve] job" in captured.err
+
+        # A second identical submission coalesces (and is served from
+        # the retained job), printing the same table.
+        assert main(
+            [
+                "submit", "--url", url, "--workload", "olio",
+                "--cores", "4", "--accesses", "600",
+                "--configs", "nocstar",
+            ]
+        ) == 0
+        second = capsys.readouterr()
+        assert second.out == captured.out
+        assert "coalesced" in second.err
+
+        # --no-wait prints the job id on stdout for scripting.
+        assert main(
+            [
+                "submit", "--url", url, "--workload", "olio",
+                "--cores", "4", "--accesses", "600",
+                "--configs", "nocstar", "--no-wait",
+            ]
+        ) == 0
+        job_id = capsys.readouterr().out.strip().splitlines()[-1]
+
+        assert main(["status", job_id, "--url", url]) == 0
+        status_out = capsys.readouterr().out
+        assert job_id in status_out and "nocstar" in status_out
+
+        assert main(["status", "--url", url]) == 0
+        health_out = capsys.readouterr().out
+        assert "daemon ok" in health_out
+        assert "serve.submissions" in health_out
+
+
+def test_submit_unreachable_daemon():
+    with pytest.raises(SystemExit, match="unreachable"):
+        main(
+            ["submit", "--url", "http://127.0.0.1:1", "--workload", "olio",
+             "--timeout", "2"]
+        )
+
+
+def test_cache_evict_max_age(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(
+        [
+            "run", "--workload", "olio", "--cores", "4",
+            "--accesses", "600", "--configs", "nocstar",
+            "--cache-dir", cache_dir,
+        ]
+    ) == 0
+    capsys.readouterr()
+    # Nothing is older than an hour yet.
+    assert main(
+        ["cache", "evict", "--cache-dir", cache_dir, "--max-age-s", "3600"]
+    ) == 0
+    assert "evicted 0 result(s)" in capsys.readouterr().out
+    # Everything is older than zero seconds.
+    assert main(
+        ["cache", "evict", "--cache-dir", cache_dir, "--max-age-s", "0"]
+    ) == 0
+    assert "evicted 2 result(s)" in capsys.readouterr().out
+    with pytest.raises(SystemExit, match="max-bytes and/or --max-age-s"):
+        main(["cache", "evict", "--cache-dir", cache_dir])

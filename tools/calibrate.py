@@ -1,6 +1,6 @@
 """Calibration sweep: per-workload metrics vs the paper's targets."""
 import sys, time
-from repro.sim import private, nocstar, monolithic, distributed, ideal, nocstar_ideal, compare
+from repro.api import private, nocstar, monolithic, distributed, ideal, nocstar_ideal, compare
 from repro.workloads import build_multithreaded, get_workload, WORKLOAD_NAMES
 
 cores = int(sys.argv[1]) if len(sys.argv) > 1 else 16

@@ -1,0 +1,116 @@
+"""End-to-end smoke of the real ``repro serve`` process.
+
+Unlike the test suite's in-process :class:`BackgroundDaemon`, this
+drives the daemon exactly the way an operator does: spawn
+``python -m repro serve`` as a subprocess, parse the ``serving on
+http://host:port`` contract line from its stdout, then submit / poll /
+fetch over real HTTP and shut it down cleanly via ``POST
+/v1/shutdown``.  Exits non-zero on any deviation.  Wired into
+``make serve-smoke`` (part of ``make verify``) and CI.
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+import time
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro.serve import ServeClient  # noqa: E402
+from repro.serve.schema import SubmitRequest  # noqa: E402
+
+STARTUP_TIMEOUT_S = 30.0
+RUN_TIMEOUT_S = 300.0
+
+
+def _fail(process: subprocess.Popen, message: str) -> int:
+    process.kill()
+    process.wait(timeout=10.0)
+    print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, ["src", env.get("PYTHONPATH", "")])
+    )
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", "0", "--jobs", "2", "--no-cache"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+
+    # The daemon's startup contract: one parseable line on stdout.
+    deadline = time.monotonic() + STARTUP_TIMEOUT_S
+    url = None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        if line.startswith("serving on "):
+            url = line.split("serving on ", 1)[1].strip()
+            break
+    if url is None:
+        return _fail(process, "daemon never printed its 'serving on' line")
+    print(f"serve-smoke: daemon up at {url}")
+
+    client = ServeClient(url, timeout=30.0)
+    try:
+        health = client.health()
+        assert health["ok"] and health["workers"] == 2, health
+
+        request = SubmitRequest(
+            workload="olio",
+            configs=("private", "nocstar"),
+            cores=4,
+            accesses_per_core=600,
+            seed=7,
+            client_id="serve-smoke",
+        )
+        result = client.run(request, timeout=RUN_TIMEOUT_S)
+        speedup = result.speedup("nocstar")
+        assert speedup > 0.0, speedup
+        print(f"serve-smoke: nocstar speedup {speedup:.3f}x over private")
+
+        # A duplicate submission coalesces onto the retained job and
+        # returns the byte-identical payload.
+        again = client.submit(request)
+        assert again["coalesced"], again
+        replay = client.result(again["job_id"])
+        assert pickle.dumps(replay.results) == pickle.dumps(result.results)
+        print("serve-smoke: duplicate submission coalesced, byte-identical")
+
+        counters = client.metrics()["counters"]
+        assert counters["serve.executions"] == 2, counters
+        assert counters["serve.jobs_coalesced"] == 1, counters
+
+        assert client.shutdown()["stopping"]
+    except Exception as exc:
+        return _fail(process, f"{type(exc).__name__}: {exc}")
+
+    try:
+        code = process.wait(timeout=30.0)
+    except subprocess.TimeoutExpired:
+        return _fail(process, "daemon did not exit after /v1/shutdown")
+    if code != 0:
+        print(f"serve-smoke: FAIL: daemon exited {code}", file=sys.stderr)
+        return 1
+    print("serve-smoke: clean shutdown, exit 0")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
