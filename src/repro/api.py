@@ -50,9 +50,15 @@ from repro.obs import (
     MetricsSink,
     NullSink,
     NULL_SINK,
+    Span,
+    Tracer,
     load_obs_records,
+    load_spans,
+    render_prometheus,
     render_report,
+    render_tree,
     write_obs_jsonl,
+    write_spans,
 )
 from repro.sim.configs import (
     SystemConfig,
@@ -106,7 +112,9 @@ from repro.workloads.spec import WorkloadSpec
 
 #: Facade revision.  Bumped whenever names are added to (or deprecated
 #: from) this surface; independent of the engine/telemetry versions.
-VERSION = "1.2.0"
+#: 1.3.0: span tracing (Tracer/Span/load_spans/write_spans/render_tree)
+#: and Prometheus exposition (render_prometheus).
+VERSION = "1.3.0"
 
 __all__ = [
     "VERSION",
@@ -166,6 +174,12 @@ __all__ = [
     "render_report",
     "load_obs_records",
     "write_obs_jsonl",
+    "Tracer",
+    "Span",
+    "load_spans",
+    "write_spans",
+    "render_tree",
+    "render_prometheus",
     # serving
     "SCHEMA_VERSION",
     "SERVICE_CLASSES",

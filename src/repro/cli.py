@@ -27,7 +27,10 @@ Commands:
 * ``submit``     — submit a scenario to a running daemon and (by
   default) wait for and print its speedup table;
 * ``status``     — job status / daemon health+metrics of a running
-  daemon.
+  daemon (``--watch N`` polls until the job finishes);
+* ``trace``      — render a span-tree JSONL sidecar (``--span-out``)
+  as an indented tree with per-layer latency attribution and a
+  critical-path table.
 
 Note on flag names: ``run --trace-in PATH`` (alias ``--trace``) *loads*
 an ``.npz`` input trace; the event-trace *output* flag is
@@ -65,6 +68,7 @@ from repro.faults.models import (
     WalkerSlowdown,
 )
 from repro.obs import load_obs_records, render_report, write_obs_jsonl
+from repro.obs.spans import Tracer, load_spans, render_tree
 from repro.noc.synthetic import run_mesh_traffic, run_nocstar_traffic
 from repro.noc.topology import MeshTopology
 from repro.sim import configs as cfg
@@ -107,7 +111,24 @@ def _trace_store_from(args: argparse.Namespace) -> Optional[str]:
     return os.path.join(args.cache_dir, "traces")
 
 
-def _runner_from(args: argparse.Namespace) -> Runner:
+def _tracer_from(args: argparse.Namespace) -> Optional[Tracer]:
+    """A Tracer when --span-out asks for a span sidecar, else None."""
+    return Tracer() if getattr(args, "span_out", "") else None
+
+
+def _export_spans(args: argparse.Namespace, tracer: Optional[Tracer]) -> None:
+    if tracer is None or not getattr(args, "span_out", ""):
+        return
+    count = tracer.export_jsonl(args.span_out)
+    print(
+        f"[spans] wrote {count} span(s) to {args.span_out}",
+        file=sys.stderr,
+    )
+
+
+def _runner_from(
+    args: argparse.Namespace, tracer: Optional[Tracer] = None
+) -> Runner:
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1 (got {args.jobs})")
     return Runner(
@@ -115,6 +136,7 @@ def _runner_from(args: argparse.Namespace) -> Runner:
         cache_dir=None if args.no_cache else args.cache_dir,
         use_cache=not args.no_cache,
         trace_store=_trace_store_from(args),
+        tracer=tracer,
     )
 
 
@@ -218,7 +240,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     names = args.configs.split(",")
     if "private" not in names:
         names = ["private"] + names
-    runner = _runner_from(args)
+    tracer = _tracer_from(args)
+    runner = _runner_from(args, tracer)
     metrics, trace = _obs_flags(args)
     faults = _faults_from(args)
     if args.trace:
@@ -249,6 +272,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     _print_speedup_table(lineup)
     _print_fault_summaries([lineup])
     _emit_obs(args, [lineup])
+    _export_spans(args, tracer)
     _report_cache(runner)
     return 0
 
@@ -257,7 +281,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     names = (
         args.workloads.split(",") if args.workloads else list(WORKLOAD_NAMES)
     )
-    runner = _runner_from(args)
+    tracer = _tracer_from(args)
+    runner = _runner_from(args, tracer)
     metrics, trace = _obs_flags(args)
     comparisons = runner.run(
         Scenario(
@@ -286,6 +311,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(render_table(["workload"] + config_names, rows))
     _print_fault_summaries([comparisons[name] for name in names])
     _emit_obs(args, [comparisons[name] for name in names])
+    _export_spans(args, tracer)
     _report_cache(runner)
     return 0
 
@@ -329,7 +355,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if rates[0] != 0.0:
         rates.insert(0, 0.0)  # the fault-free anchor of the curve
     config = _build_configs([args.config], args.cores)[0]
-    runner = _runner_from(args)
+    tracer = _tracer_from(args)
+    runner = _runner_from(args, tracer)
     metrics, trace = _obs_flags(args)
 
     rows = []
@@ -427,6 +454,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         print()
         print(render_report(run_records_from(labelled),
                             event_records_from(labelled)))
+    _export_spans(args, tracer)
     runner.stats = cache_totals
     _report_cache(runner)
     return 0
@@ -524,27 +552,31 @@ def cmd_submit(args: argparse.Namespace) -> int:
         )
     except SchemaError as exc:
         raise SystemExit(str(exc))
-    client = ServeClient(args.url, timeout=args.timeout)
+    tracer = _tracer_from(args)
+    client = ServeClient(args.url, timeout=args.timeout, tracer=tracer)
     try:
-        info = client.submit(request)
-        job_id = info["job_id"]
-        print(
-            f"[serve] job {job_id} "
-            + ("coalesced onto an in-flight submission"
-               if info.get("coalesced")
-               else f"accepted ({info.get('units_cached', 0)} unit(s) "
-                    f"cached)"),
-            file=sys.stderr,
-        )
-        if args.no_wait:
-            print(job_id)
-            return 0
-        status = client.wait(job_id, timeout=args.timeout)
-        if status.state == "failed":
-            raise SystemExit(f"job {job_id} failed: {status.error}")
-        result = client.result(job_id)
+        with client.request_span(workload=args.workload):
+            info = client.submit(request)
+            job_id = info["job_id"]
+            print(
+                f"[serve] job {job_id} "
+                + ("coalesced onto an in-flight submission"
+                   if info.get("coalesced")
+                   else f"accepted ({info.get('units_cached', 0)} unit(s) "
+                        f"cached)"),
+                file=sys.stderr,
+            )
+            if args.no_wait:
+                print(job_id)
+                _export_spans(args, tracer)
+                return 0
+            status = client.wait(job_id, timeout=args.timeout)
+            if status.state == "failed":
+                raise SystemExit(f"job {job_id} failed: {status.error}")
+            result = client.result(job_id)
     except (ServeError, TimeoutError) as exc:
         raise SystemExit(str(exc))
+    _export_spans(args, tracer)
     comparison = Comparison(result.workload, result.results, result.baseline)
     _print_speedup_table(comparison)
     _print_fault_summaries([comparison])
@@ -558,6 +590,38 @@ def cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fmt_seconds(value) -> str:
+    """``1.234`` → ``"1.234"``; missing/None (pre-schema-3 rows) → ``-``."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return f"{value:.3f}"
+    return "-"
+
+
+def _print_job_status(status) -> None:
+    rows = [
+        [unit.get("config", "?"), unit.get("state", "?"),
+         unit.get("cache", "-"), _fmt_seconds(unit.get("build_s")),
+         _fmt_seconds(unit.get("sim_s"))]
+        for unit in status.telemetry.get("units", [])
+    ]
+    print(
+        f"job {status.job_id}: {status.state} "
+        f"({status.units_done}/{status.units_total} unit(s), "
+        f"{status.units_cached} cached) workload={status.workload} "
+        f"class={status.service_class} "
+        f"clients={','.join(status.clients)}"
+    )
+    if status.error:
+        print(f"error: {status.error}")
+    if rows:
+        print(
+            render_table(
+                ["config", "state", "cache", "build s", "sim s"],
+                rows,
+            )
+        )
+
+
 def cmd_status(args: argparse.Namespace) -> int:
     """One job's status — or daemon health+metrics without a job id."""
     from repro.serve.client import ServeClient, ServeError
@@ -565,28 +629,22 @@ def cmd_status(args: argparse.Namespace) -> int:
     client = ServeClient(args.url)
     try:
         if args.job_id:
-            status = client.status(args.job_id)
-            rows = [
-                [unit["config"], unit["state"], unit["cache"],
-                 f"{unit['build_s']:.3f}", f"{unit['sim_s']:.3f}"]
-                for unit in status.telemetry.get("units", [])
-            ]
-            print(
-                f"job {status.job_id}: {status.state} "
-                f"({status.units_done}/{status.units_total} unit(s), "
-                f"{status.units_cached} cached) workload={status.workload} "
-                f"class={status.service_class} "
-                f"clients={','.join(status.clients)}"
-            )
-            if status.error:
-                print(f"error: {status.error}")
-            if rows:
-                print(
-                    render_table(
-                        ["config", "state", "cache", "build s", "sim s"],
-                        rows,
-                    )
-                )
+            if args.watch > 0:
+                final = None
+                for status in client.watch(
+                    args.job_id, interval_s=args.watch
+                ):
+                    final = status
+                    if not status.done:
+                        print(
+                            f"job {status.job_id}: {status.state} "
+                            f"({status.units_done}/{status.units_total} "
+                            f"unit(s) done)",
+                            file=sys.stderr,
+                        )
+                _print_job_status(final)
+                return 0
+            _print_job_status(client.status(args.job_id))
             return 0
         health = client.health()
         counters = client.metrics().get("counters", {})
@@ -594,6 +652,17 @@ def cmd_status(args: argparse.Namespace) -> int:
             f"daemon ok (engine {health.get('engine')}, schema "
             f"{health.get('schema')}, {health.get('workers')} worker(s))"
         )
+        storage = health.get("storage") or {}
+        for label, stats in (
+            ("results", storage.get("results")),
+            ("traces", storage.get("traces")),
+        ):
+            if stats:
+                entries = stats.get("entries", stats.get("artifacts", 0))
+                print(
+                    f"[storage] {label}: {entries} entr(ies), "
+                    f"{stats.get('bytes', 0)} byte(s)"
+                )
         if counters:
             print(
                 render_table(
@@ -604,6 +673,16 @@ def cmd_status(args: argparse.Namespace) -> int:
         return 0
     except ServeError as exc:
         raise SystemExit(str(exc))
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Render a span-tree sidecar (tree + critical-path table)."""
+    try:
+        records = load_spans(args.path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.path!r}: {exc}")
+    print(render_tree(records, top=args.top))
+    return 0
 
 
 def cmd_workloads(_args: argparse.Namespace) -> int:
@@ -705,6 +784,12 @@ def _obs_parent() -> argparse.ArgumentParser:
         "--trace-out", default="",
         help="write runs + event traces to this JSONL file for "
              "`repro report` (implies --metrics)",
+    )
+    parent.add_argument(
+        "--span-out", default="",
+        help="write a span-tree JSONL sidecar for `repro trace` "
+             "(wall-clock telemetry only; never affects results or "
+             "cache keys)",
     )
     return parent
 
@@ -954,7 +1039,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--url", default="http://127.0.0.1:8787",
         help="daemon base URL (default http://127.0.0.1:8787)",
     )
+    status_p.add_argument(
+        "--watch", type=float, default=0.0, metavar="N",
+        help="poll every N seconds until the job reaches a terminal "
+             "state (needs a job id; default off)",
+    )
     status_p.set_defaults(func=cmd_status)
+
+    trace_p = sub.add_parser(
+        "trace", help="render a span-tree JSONL sidecar (--span-out)"
+    )
+    trace_p.add_argument(
+        "path",
+        help="span sidecar written by --span-out (run/sweep/faults/"
+             "submit)",
+    )
+    trace_p.add_argument(
+        "--top", type=int, default=5,
+        help="rows in the critical-path table (default 5)",
+    )
+    trace_p.set_defaults(func=cmd_trace)
 
     wl_p = sub.add_parser("workloads", help="list the workload suite")
     wl_p.set_defaults(func=cmd_workloads)

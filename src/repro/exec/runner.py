@@ -49,6 +49,7 @@ from repro.exec.cache import (
     workload_fingerprint,
 )
 from repro.exec.trace_store import TraceStore, attach_workload
+from repro.obs.spans import Span, Tracer, span_record
 from repro.sim import configs as cfg
 from repro.sim.engine import (
     DEFAULT_QUANTUM,
@@ -226,6 +227,13 @@ class Runner:
         path for one).  When set, traces are materialized once per
         build signature and attached zero-copy by every worker; when
         ``None`` (default) units build their own traces as before.
+    tracer:
+        A :class:`~repro.obs.spans.Tracer`.  When set, each
+        ``execute_units``/``run_prebuilt`` call is recorded as a
+        ``runner.execute`` span whose per-unit children carry the
+        schema-3 ``build_s``/``sim_s`` split (tail-anchored at each
+        unit's completion, the same synthesis the serving tier uses).
+        Pure telemetry: spans never touch cache keys or results.
     """
 
     def __init__(
@@ -236,6 +244,7 @@ class Runner:
         telemetry_path: Optional[str] = None,
         engine_version: Optional[str] = None,
         trace_store: Optional[Union[TraceStore, str]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -255,6 +264,11 @@ class Runner:
         #: Trace-store activity of the most recent call: how many
         #: artifacts were built (vs found warm) and the time spent.
         self.trace_stats: Dict[str, float] = {"builds": 0, "build_s": 0.0}
+        self.tracer = tracer
+        #: Wall-clock completion times of the last dispatch, by index
+        #: (the anchor for tail-synthesized per-unit spans).
+        self._arrivals: Dict[int, float] = {}
+        self._span: Optional[Span] = None
 
     # ------------------------------------------------------------------
     # scenario execution
@@ -290,6 +304,21 @@ class Runner:
 
     def execute_units(self, units: Sequence[RunUnit]) -> List[RunResult]:
         """Execute units (cache, then pool); results in unit order."""
+        if self.tracer is None:
+            return self._execute_units(units)
+        with self.tracer.span(
+            "runner.execute", units=len(units), jobs=self.jobs
+        ) as span:
+            self._span = span
+            try:
+                results = self._execute_units(units)
+            finally:
+                self._span = None
+            span.attrs["cache_hits"] = self.stats["hits"]
+            span.attrs["misses"] = self.stats["misses"]
+            return results
+
+    def _execute_units(self, units: Sequence[RunUnit]) -> List[RunResult]:
         self.stats = {"hits": 0, "misses": 0}
         self.trace_stats = {"builds": 0, "build_s": 0.0}
         keys: List[Optional[str]] = [None] * len(units)
@@ -330,6 +359,7 @@ class Runner:
             if self.cache is not None:
                 self.cache.put(keys[index], result)
             unit = units[index]
+            self._unit_spans(index, unit.config.name, build_s, sim_s)
             self._telemetry(
                 keys[index], unit.config.name, unit.workload.name,
                 unit.config.num_cores, unit.seed,
@@ -362,6 +392,38 @@ class Runner:
         fingerprint and attached by every worker — never pickled per
         task.
         """
+        if self.tracer is None:
+            return self._run_prebuilt(
+                workload, configurations, baseline_name, storm, shootdown,
+                record_intervals, quantum, metrics, trace,
+            )
+        with self.tracer.span(
+            "runner.execute", workload=workload.name, jobs=self.jobs
+        ) as span:
+            self._span = span
+            try:
+                comparison = self._run_prebuilt(
+                    workload, configurations, baseline_name, storm,
+                    shootdown, record_intervals, quantum, metrics, trace,
+                )
+            finally:
+                self._span = None
+            span.attrs["cache_hits"] = self.stats["hits"]
+            span.attrs["misses"] = self.stats["misses"]
+            return comparison
+
+    def _run_prebuilt(
+        self,
+        workload: Workload,
+        configurations: Sequence[cfg.SystemConfig],
+        baseline_name: str,
+        storm: Optional[StormConfig],
+        shootdown: Optional[ShootdownTraffic],
+        record_intervals: bool,
+        quantum: int,
+        metrics: bool,
+        trace: bool,
+    ) -> Comparison:
         configurations = list(configurations)
         names = [config.name for config in configurations]
         if baseline_name not in names:
@@ -437,6 +499,9 @@ class Runner:
             self.stats["misses"] += 1
             if self.cache is not None:
                 self.cache.put(keys[index], result)
+            self._unit_spans(
+                index, configurations[index].name, build_s, sim_s
+            )
             self._telemetry(
                 keys[index], configurations[index].name, workload.name,
                 configurations[index].num_cores, workload.seed,
@@ -488,17 +553,71 @@ class Runner:
         """
         if not tasks:
             return []
+        self._arrivals = {}
         ordered = sorted(tasks, key=lambda task: (-task.cost, task.index))
+        done = []
         if self.jobs > 1 and len(ordered) > 1:
             workers = min(self.jobs, len(ordered))
             with multiprocessing.Pool(processes=workers) as pool:
-                done = list(
-                    pool.imap_unordered(_execute_task, ordered, chunksize=1)
-                )
+                for item in pool.imap_unordered(
+                    _execute_task, ordered, chunksize=1
+                ):
+                    done.append(item)
+                    self._arrivals[item[0]] = time.time()
         else:
-            done = [_execute_task(task) for task in ordered]
+            for task in ordered:
+                item = _execute_task(task)
+                done.append(item)
+                self._arrivals[item[0]] = time.time()
         done.sort(key=lambda item: item[0])
         return done
+
+    def _unit_spans(
+        self, index: int, config_name: str, build_s: float, sim_s: float
+    ) -> None:
+        """Tail-anchored build/sim spans of one completed unit.
+
+        The worker reports durations, not wall timestamps, so the unit
+        span is anchored at its completion time in the parent; the
+        anchor error is one result-pickle hand-off, rendered as gap in
+        the ``runner.execute`` parent rather than misattributed.
+        """
+        if self.tracer is None or self._span is None:
+            return
+        end = self._arrivals.get(index)
+        if end is None:
+            return
+        sim_start = end - sim_s
+        start = sim_start - build_s
+        unit_rec = span_record(
+            name="unit.exec",
+            trace_id=self.tracer.trace_id,
+            parent_id=self._span.span_id,
+            start_s=start,
+            end_s=end,
+            attrs={"config": config_name},
+        )
+        self.tracer.records.append(unit_rec)
+        self.tracer.records.append(
+            span_record(
+                name="unit.build",
+                trace_id=self.tracer.trace_id,
+                parent_id=unit_rec["span_id"],
+                start_s=start,
+                end_s=sim_start,
+                attrs={"config": config_name},
+            )
+        )
+        self.tracer.records.append(
+            span_record(
+                name="unit.sim",
+                trace_id=self.tracer.trace_id,
+                parent_id=unit_rec["span_id"],
+                start_s=sim_start,
+                end_s=end,
+                attrs={"config": config_name},
+            )
+        )
 
     def _telemetry(
         self,

@@ -13,6 +13,13 @@ The subsystem has three layers:
 * :mod:`repro.obs.report` — text rendering of latency percentiles,
   per-link NoC utilization heatmap rows, and hottest-slice tables from
   any mix of obs files and Runner telemetry (the ``repro report`` CLI).
+* :mod:`repro.obs.spans` — span-based request tracing with propagated
+  ``trace_id``/``span_id``/``parent_id`` correlation across the serving
+  tier (client → daemon → queue → worker → build/sim), JSONL sidecars,
+  and the ``repro trace`` tree/critical-path renderer.
+* :mod:`repro.obs.prometheus` — Prometheus text exposition of any
+  registry snapshot (the daemon's ``GET /v1/metrics`` under
+  ``Accept: text/plain``).
 
 Everything is deterministic: metric values and event timestamps are
 simulation cycles, never wall clock, so serial, parallel, and
@@ -44,6 +51,18 @@ from repro.obs.report import (
     run_records_from,
     write_obs_jsonl,
 )
+from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
+from repro.obs.spans import (
+    SPAN_SCHEMA,
+    Span,
+    Tracer,
+    build_tree,
+    load_spans,
+    render_tree,
+    span_record,
+    validate_context,
+    write_spans,
+)
 
 __all__ = [
     "Counter",
@@ -63,4 +82,15 @@ __all__ = [
     "render_report",
     "run_records_from",
     "write_obs_jsonl",
+    "CONTENT_TYPE",
+    "render_prometheus",
+    "SPAN_SCHEMA",
+    "Span",
+    "Tracer",
+    "build_tree",
+    "load_spans",
+    "render_tree",
+    "span_record",
+    "validate_context",
+    "write_spans",
 ]

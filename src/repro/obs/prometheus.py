@@ -1,0 +1,96 @@
+"""Prometheus text exposition of a :class:`MetricsRegistry` snapshot.
+
+Maps the registry's JSON snapshot (the daemon's default ``/v1/metrics``
+payload) onto the Prometheus text format, version 0.0.4:
+
+* counters  → ``<name>_total <value>`` (``# TYPE ... counter``);
+* gauges    → ``<name> <value>`` (``# TYPE ... gauge``);
+* histograms → cumulative ``<name>_bucket{le="..."}`` series ending in
+  ``le="+Inf"``, plus ``<name>_sum`` and ``<name>_count``.
+
+Metric names are sanitised to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): the registry's dotted names
+(``serve.queue_ms``) become underscored (``serve_queue_ms``).  The
+snapshot's per-bound bucket counts (which omit empty buckets and use
+``None`` for the overflow bucket) are accumulated into the cumulative
+``le`` form Prometheus requires, so ``_count`` always equals the
+``+Inf`` bucket.
+
+Exposition is read-only telemetry over an already-deterministic
+snapshot: rendering the same snapshot always produces the same bytes
+(sorted names, stable float formatting), and nothing here feeds back
+into simulation or caching.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+#: Content type of the exposition format (what a scraper negotiates).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str) -> str:
+    """A registry name made valid for Prometheus (``serve.x`` → ``serve_x``)."""
+    sanitised = _NAME_RE.sub("_", str(name))
+    if not sanitised or not (sanitised[0].isalpha() or sanitised[0] in "_:"):
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def _number(value) -> str:
+    """Stable numeric formatting (ints stay ints; floats via repr)."""
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Dict[str, Dict], prefix: str = "") -> str:
+    """The exposition text of one registry snapshot.
+
+    ``prefix`` is prepended to every metric name (already-sanitised
+    callers aside, it goes through :func:`metric_name` too).
+    """
+    lines: List[str] = []
+
+    counters = snapshot.get("counters") or {}
+    for name in sorted(counters):
+        metric = metric_name(prefix + name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_number(counters[name])}")
+
+    gauges = snapshot.get("gauges") or {}
+    for name in sorted(gauges):
+        metric = metric_name(prefix + name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_number(gauges[name])}")
+
+    histograms = snapshot.get("histograms") or {}
+    for name in sorted(histograms):
+        metric = metric_name(prefix + name)
+        data = histograms[name] or {}
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        saw_inf = False
+        for bound, count in data.get("buckets") or []:
+            cumulative += count
+            le = "+Inf" if bound is None else _number(bound)
+            saw_inf = saw_inf or bound is None
+            lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+        total = data.get("count", 0)
+        # The snapshot omits empty buckets (including an empty overflow
+        # bucket); the +Inf bucket must still close the series at the
+        # full count.
+        if not saw_inf:
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {total}')
+        lines.append(f"{metric}_sum {_number(data.get('sum', 0))}")
+        lines.append(f"{metric}_count {total}")
+
+    return "\n".join(lines) + "\n" if lines else "\n"

@@ -293,14 +293,17 @@ def render_report(
     for record in runs:
         metrics = record.get("metrics") or {}
         # build_s/sim_s exist in telemetry schema >= 3; obs records and
-        # older telemetry render a "-" placeholder.
+        # older telemetry render a "-" placeholder (whether the key is
+        # absent or an explicit null).
+        build_s = record.get("build_s")
+        sim_s = record.get("sim_s")
         run_rows.append(
             [
                 _label(record),
                 record.get("cycles", "-"),
                 record.get("cache", "-"),
-                record.get("build_s", "-"),
-                record.get("sim_s", "-"),
+                "-" if build_s is None else build_s,
+                "-" if sim_s is None else sim_s,
                 "yes" if metrics else "no",
             ]
         )

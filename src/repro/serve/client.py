@@ -17,8 +17,11 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Dict, Optional, Tuple
+from contextlib import contextmanager
+from dataclasses import replace
+from typing import Dict, Iterator, Optional, Tuple
 
+from repro.obs.spans import Span, Tracer
 from repro.serve.schema import (
     JobResult,
     JobStatus,
@@ -36,11 +39,27 @@ class ServeError(RuntimeError):
 
 
 class ServeClient:
-    """A thin, schema-aware client bound to one daemon base URL."""
+    """A thin, schema-aware client bound to one daemon base URL.
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    With a :class:`~repro.obs.spans.Tracer`, every endpoint call is
+    recorded as a span, ``submit`` propagates the trace context over
+    the wire, and terminal ``wait``/``watch`` statuses merge the
+    daemon's spans back into the tracer — one sidecar, one tree.
+    Without one, behaviour (and every byte on the wire except the
+    absent ``trace_context`` field) is unchanged.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.tracer = tracer
+        #: Current root span; endpoint spans parent under it when set.
+        self._root: Optional[Span] = None
 
     # ------------------------------------------------------------------
     # transport
@@ -54,10 +73,14 @@ class ServeClient:
     _TRANSIENT_RETRIES = 3
 
     def _request(
-        self, method: str, path: str, payload: Optional[Dict] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+        accept: str = "application/json",
     ) -> Tuple[int, Dict]:
         body = None
-        headers = {"Accept": "application/json"}
+        headers = {"Accept": accept}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -69,9 +92,14 @@ class ServeClient:
                 with urllib.request.urlopen(
                     request, timeout=self.timeout
                 ) as response:
-                    return response.status, json.loads(
-                        response.read() or b"{}"
-                    )
+                    data = response.read()
+                    if accept != "application/json":
+                        # Non-JSON negotiation (Prometheus text): hand
+                        # the body back verbatim.
+                        return response.status, {
+                            "text": data.decode("utf-8")
+                        }
+                    return response.status, json.loads(data or b"{}")
             except urllib.error.HTTPError as exc:
                 try:
                     decoded = json.loads(exc.read() or b"{}")
@@ -107,21 +135,51 @@ class ServeClient:
         """The daemon's ``serve.*`` metrics snapshot."""
         return self._ok(*self._request("GET", "/v1/metrics"))["metrics"]
 
+    def metrics_text(self) -> str:
+        """The same metrics in Prometheus text exposition format.
+
+        Content-negotiated: ``GET /v1/metrics`` with
+        ``Accept: text/plain`` (what a Prometheus scraper sends).
+        """
+        payload = self._ok(
+            *self._request("GET", "/v1/metrics", accept="text/plain")
+        )
+        return payload["text"]
+
     def submit(self, request: SubmitRequest) -> Dict:
         """Submit; returns ``{job_id, coalesced, units_cached, ...}``."""
-        return self._ok(
-            *self._request("POST", "/v1/submit", request.to_dict())
-        )
+        if self.tracer is None:
+            return self._ok(
+                *self._request("POST", "/v1/submit", request.to_dict())
+            )
+        with self.tracer.span(
+            "client.submit", parent=self._root, workload=request.workload
+        ) as span:
+            traced = replace(request, trace_context=span.context())
+            info = self._ok(
+                *self._request("POST", "/v1/submit", traced.to_dict())
+            )
+            span.attrs["job_id"] = info.get("job_id")
+            span.attrs["coalesced"] = bool(info.get("coalesced"))
+            return info
 
     def status(self, job_id: str) -> JobStatus:
         payload = self._ok(*self._request("GET", f"/v1/jobs/{job_id}"))
         return JobStatus.from_dict(payload)
 
     def result(self, job_id: str) -> JobResult:
-        payload = self._ok(
-            *self._request("GET", f"/v1/jobs/{job_id}/result")
-        )
-        return JobResult.from_dict(payload)
+        if self.tracer is None:
+            payload = self._ok(
+                *self._request("GET", f"/v1/jobs/{job_id}/result")
+            )
+            return JobResult.from_dict(payload)
+        with self.tracer.span(
+            "client.result", parent=self._root, job_id=job_id
+        ):
+            payload = self._ok(
+                *self._request("GET", f"/v1/jobs/{job_id}/result")
+            )
+            return JobResult.from_dict(payload)
 
     def shutdown(self) -> Dict:
         return self._ok(*self._request("POST", "/v1/shutdown"))
@@ -141,18 +199,88 @@ class ServeClient:
         to the daemon under thousands of concurrent clients while
         staying snappy for interactive use.
         """
-        deadline = time.monotonic() + timeout
-        delay = poll_s
+        span = (
+            self.tracer.start("client.wait", parent=self._root, job_id=job_id)
+            if self.tracer is not None
+            else None
+        )
+        polls = 0
+        try:
+            deadline = time.monotonic() + timeout
+            delay = poll_s
+            while True:
+                status = self.status(job_id)
+                polls += 1
+                if status.done:
+                    self._absorb_spans(status)
+                    return status
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"job {job_id} still {status.state!r} "
+                        f"after {timeout}s"
+                    )
+                time.sleep(delay)
+                delay = min(delay * 1.5, 1.0)
+        except BaseException as exc:
+            if span is not None:
+                span.status = f"error: {type(exc).__name__}"
+            raise
+        finally:
+            if span is not None:
+                span.attrs["polls"] = polls
+                self.tracer.finish(span)
+
+    def watch(
+        self,
+        job_id: str,
+        interval_s: float = 2.0,
+        timeout: Optional[float] = None,
+    ) -> Iterator[JobStatus]:
+        """Yield status snapshots every ``interval_s`` until terminal.
+
+        The generator form of :meth:`wait` — ``repro status --watch``
+        renders each snapshot instead of callers shelling out in a
+        loop.  The terminal snapshot is yielded too, then the
+        generator returns; with a ``timeout``, :class:`TimeoutError`
+        is raised once it elapses.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
         while True:
             status = self.status(job_id)
+            yield status
             if status.done:
-                return status
-            if time.monotonic() >= deadline:
+                self._absorb_spans(status)
+                return
+            if deadline is not None and time.monotonic() >= deadline:
                 raise TimeoutError(
                     f"job {job_id} still {status.state!r} after {timeout}s"
                 )
-            time.sleep(delay)
-            delay = min(delay * 1.5, 1.0)
+            time.sleep(interval_s)
+
+    def _absorb_spans(self, status: JobStatus) -> None:
+        """Merge daemon-side spans from a terminal status telemetry."""
+        if self.tracer is not None and status.done:
+            self.tracer.extend(status.telemetry.get("spans") or ())
+
+    @contextmanager
+    def request_span(self, **attrs):
+        """A ``client.request`` root span parenting endpoint calls.
+
+        Yields the open :class:`~repro.obs.spans.Span` (or ``None``
+        without a tracer), so multi-call flows — submit, then wait,
+        then result — land under one root the way :meth:`run` does.
+        """
+        if self.tracer is None:
+            yield None
+            return
+        with self.tracer.span("client.request", **attrs) as root:
+            self._root = root
+            try:
+                yield root
+            finally:
+                self._root = None
 
     def run(
         self,
@@ -161,8 +289,11 @@ class ServeClient:
         poll_s: float = 0.05,
     ) -> JobResult:
         """Submit, wait, and fetch the result in one call."""
-        job_id = self.submit(request)["job_id"]
-        status = self.wait(job_id, timeout=timeout, poll_s=poll_s)
-        if status.state == "failed":
-            raise ServeError(500, f"job failed: {status.error}")
-        return self.result(job_id)
+        with self.request_span(workload=request.workload) as root:
+            job_id = self.submit(request)["job_id"]
+            if root is not None:
+                root.attrs["job_id"] = job_id
+            status = self.wait(job_id, timeout=timeout, poll_s=poll_s)
+            if status.state == "failed":
+                raise ServeError(500, f"job failed: {status.error}")
+            return self.result(job_id)

@@ -16,6 +16,13 @@ GET    ``/v1/metrics``              the ``serve.*`` metrics snapshot
 POST   ``/v1/shutdown``             drain and stop the daemon
 ====== ============================ ========================================
 
+``/v1/metrics`` content-negotiates: the JSON snapshot is the default,
+and ``Accept: text/plain`` (what a Prometheus scraper sends) switches
+to the text exposition format of :mod:`repro.obs.prometheus`.
+``/v1/healthz`` also reports :meth:`JobManager.storage_stats` — result
+cache and trace-store pressure — so operators need no shell access to
+the cache directory.
+
 Error mapping: schema violations are 400, unknown jobs 404, quota
 rejections 429, results-not-ready 409, failed jobs 500 — always with a
 JSON body ``{"error": ..., "schema": SCHEMA_VERSION}``.
@@ -38,6 +45,7 @@ import re
 import threading
 from typing import Dict, Optional, Tuple
 
+from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
 from repro.serve.jobs import (
     JobFailedError,
     JobManager,
@@ -73,6 +81,12 @@ _STATUS_TEXT = {
 }
 
 _JOB_PATH = re.compile(r"^/v1/jobs/([0-9a-f]{1,64})(/result)?$")
+
+
+class _PlainText(str):
+    """A route result that is already rendered text, not a JSON dict."""
+
+    content_type = CONTENT_TYPE
 
 
 class ServeDaemon:
@@ -137,11 +151,16 @@ class ServeDaemon:
             status, payload = await self._respond_to(reader)
         except Exception as exc:  # a handler bug must not kill the loop
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        payload.setdefault("schema", SCHEMA_VERSION)
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, _PlainText):
+            content_type = payload.content_type
+            body = str(payload).encode("utf-8")
+        else:
+            content_type = "application/json"
+            payload.setdefault("schema", SCHEMA_VERSION)
+            body = json.dumps(payload).encode("utf-8")
         head = (
             f"HTTP/1.0 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n\r\n"
         ).encode("ascii")
@@ -162,16 +181,20 @@ class ServeDaemon:
             return 400, {"error": f"malformed request line {request_line!r}"}
         method, path = parts[0].upper(), parts[1]
         content_length = 0
+        accept = "application/json"
         while True:
             line = (await reader.readline()).decode("latin-1").strip()
             if not line:
                 break
             name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
+            header = name.strip().lower()
+            if header == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError:
                     return 400, {"error": "bad Content-Length"}
+            elif header == "accept":
+                accept = value.strip().lower()
         if content_length > MAX_BODY_BYTES:
             return 413, {"error": f"body exceeds {MAX_BODY_BYTES} bytes"}
         body = (
@@ -179,10 +202,11 @@ class ServeDaemon:
             if content_length
             else b""
         )
-        return await self._route(method, path, body)
+        return await self._route(method, path, body, accept)
 
     async def _route(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, body: bytes,
+        accept: str = "application/json",
     ) -> Tuple[int, Dict]:
         if path == "/v1/healthz":
             if method != "GET":
@@ -191,11 +215,15 @@ class ServeDaemon:
                 "ok": True,
                 "engine": ENGINE_VERSION,
                 "workers": self.manager.config.workers,
+                "storage": self.manager.storage_stats(),
             }
         if path == "/v1/metrics":
             if method != "GET":
                 return 405, {"error": "metrics is GET"}
-            return 200, {"metrics": self.manager.metrics_snapshot()}
+            snapshot = self.manager.metrics_snapshot()
+            if "text/plain" in accept:
+                return 200, _PlainText(render_prometheus(snapshot))
+            return 200, {"metrics": snapshot}
         if path == "/v1/submit":
             if method != "POST":
                 return 405, {"error": "submit is POST"}

@@ -42,14 +42,16 @@ from __future__ import annotations
 import asyncio
 import heapq
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.exec.cache import ResultCache, unit_key
 from repro.exec.runner import execute_unit, unit_cost
 from repro.exec.trace_store import TraceStore
 from repro.obs import MetricsRegistry
+from repro.obs.spans import new_id, span_record
 from repro.serve.schema import (
     SERVICE_CLASSES,
     JobResult,
@@ -124,6 +126,7 @@ class _Execution:
     __slots__ = (
         "key", "unit", "cost", "rank", "artifact", "state", "result",
         "error", "build_s", "sim_s", "created", "started", "finished",
+        "created_ts", "started_ts", "finished_ts",
         "done_event", "job_ids", "cached",
     )
 
@@ -143,6 +146,11 @@ class _Execution:
         self.created = time.monotonic()
         self.started: Optional[float] = None
         self.finished: Optional[float] = None
+        # Wall-clock twins of the monotonic fields, for span records
+        # only (durations keep using the monotonic clock).
+        self.created_ts = time.time()
+        self.started_ts: Optional[float] = None
+        self.finished_ts: Optional[float] = None
         self.done_event = asyncio.Event()
         self.job_ids: Set[str] = set()
         self.cached = False
@@ -156,6 +164,8 @@ class _Execution:
         execution.cached = True
         execution.started = execution.created
         execution.finished = execution.created
+        execution.started_ts = execution.created_ts
+        execution.finished_ts = execution.created_ts
         execution.done_event.set()
         return execution
 
@@ -165,7 +175,12 @@ class _Job:
 
     __slots__ = (
         "job_id", "request", "clients", "executions", "created", "finished",
+        "created_ts", "finished_ts", "trace", "span_id", "extra_spans",
     )
+
+    #: Cap on coalesce/reject side-spans retained per job — repeat
+    #: coalesced submissions must not grow a job record without bound.
+    MAX_EXTRA_SPANS = 64
 
     def __init__(self, job_id: str, request: SubmitRequest) -> None:
         self.job_id = job_id
@@ -174,6 +189,21 @@ class _Job:
         self.executions: List[_Execution] = []
         self.created = time.monotonic()
         self.finished: Optional[float] = None
+        self.created_ts = time.time()
+        self.finished_ts: Optional[float] = None
+        #: First trace context seen for this job (creator's, or the
+        #: first traced coalescer's) — parents the server span tree.
+        self.trace: Optional[Dict[str, str]] = (
+            dict(request.trace_context) if request.trace_context else None
+        )
+        #: span_id of the synthesized ``server.submit`` root.
+        self.span_id = new_id()
+        #: Point-event span records (job/unit coalesce hits).
+        self.extra_spans: List[Dict[str, object]] = []
+
+    def note_span(self, record: Dict[str, object]) -> None:
+        if len(self.extra_spans) < self.MAX_EXTRA_SPANS:
+            self.extra_spans.append(record)
 
     @property
     def state(self) -> str:
@@ -207,6 +237,9 @@ class JobManager:
             else None
         )
         self._jobs: Dict[str, _Job] = {}
+        #: Span records with no job to live on (quota rejections),
+        #: bounded so a reject storm cannot grow the manager.
+        self.span_log: Deque[Dict[str, object]] = deque(maxlen=256)
         #: key -> queued/running execution (the coalescing map).
         self._inflight: Dict[str, _Execution] = {}
         self._heap: List[Tuple[int, float, int, _Execution]] = []
@@ -278,9 +311,26 @@ class JobManager:
         job = self._jobs.get(job_id)
         if job is not None:
             if request.client_id not in job.clients and job.active:
-                self._check_quota(request.client_id)
+                self._check_quota(request)
             job.clients.add(request.client_id)
             self._count("serve.jobs_coalesced")
+            if request.trace_context:
+                now_ts = time.time()
+                job.note_span(
+                    span_record(
+                        name="server.coalesced",
+                        trace_id=request.trace_context["trace_id"],
+                        parent_id=request.trace_context.get("parent_id"),
+                        start_s=now_ts,
+                        end_s=now_ts,
+                        attrs={
+                            "job_id": job_id,
+                            "client_id": request.client_id,
+                        },
+                    )
+                )
+                if job.trace is None:
+                    job.trace = dict(request.trace_context)
             return job_id, {
                 "coalesced": True,
                 "units_cached": sum(1 for e in job.executions if e.cached),
@@ -288,7 +338,7 @@ class JobManager:
                 "state": job.state,
             }
 
-        self._check_quota(request.client_id)
+        self._check_quota(request)
         # Scenario construction validates workload/config names and
         # raises SchemaError -> HTTP 400 before anything is enqueued.
         scenario = request.scenario()
@@ -303,6 +353,18 @@ class JobManager:
             if execution is not None:
                 coalesced += 1
                 self._count("serve.units_coalesced")
+                if job.trace is not None:
+                    now_ts = time.time()
+                    job.note_span(
+                        span_record(
+                            name="unit.coalesced",
+                            trace_id=job.trace["trace_id"],
+                            parent_id=job.span_id,
+                            start_s=now_ts,
+                            end_s=now_ts,
+                            attrs={"config": unit.config.name},
+                        )
+                    )
                 if rank < execution.rank and execution.state == "queued":
                     # A higher-priority class wants this unit: lazily
                     # re-push; stale heap entries are skipped on pop.
@@ -327,6 +389,7 @@ class JobManager:
             await self._push(execution)
         if job.state == "done":
             job.finished = time.monotonic()
+            job.finished_ts = time.time()
             self._count("serve.completed_jobs")
         self._refresh_gauges()
         return job_id, {
@@ -336,9 +399,10 @@ class JobManager:
             "state": job.state,
         }
 
-    def _check_quota(self, client_id: str) -> None:
+    def _check_quota(self, request: SubmitRequest) -> None:
         if self.config.quota <= 0:
             return
+        client_id = request.client_id
         active = sum(
             1
             for job in self._jobs.values()
@@ -346,6 +410,25 @@ class JobManager:
         )
         if active >= self.config.quota:
             self._count("serve.quota_rejections")
+            if request.trace_context:
+                # No job record to live on — the rejection span lands
+                # in the bounded manager-level log instead.
+                now_ts = time.time()
+                self.span_log.append(
+                    span_record(
+                        name="server.quota_reject",
+                        trace_id=request.trace_context["trace_id"],
+                        parent_id=request.trace_context.get("parent_id"),
+                        start_s=now_ts,
+                        end_s=now_ts,
+                        status="error: QuotaExceededError",
+                        attrs={
+                            "client_id": client_id,
+                            "active": active,
+                            "quota": self.config.quota,
+                        },
+                    )
+                )
             raise QuotaExceededError(client_id, active, self.config.quota)
 
     async def _stage(self, unit: RunUnit) -> Optional[str]:
@@ -384,6 +467,7 @@ class JobManager:
                     if execution.state == "queued":
                         execution.state = "running"
                         execution.started = time.monotonic()
+                        execution.started_ts = time.time()
                         return execution
                 await self._cond.wait()
 
@@ -404,6 +488,7 @@ class JobManager:
             except asyncio.CancelledError:
                 execution.state = "queued"
                 execution.started = None
+                execution.started_ts = None
                 await self._push(execution)
                 raise
             except Exception as exc:  # worker death, engine error
@@ -421,6 +506,7 @@ class JobManager:
                     (build_s + sim_s) * 1000.0
                 )
             execution.finished = time.monotonic()
+            execution.finished_ts = time.time()
             execution.done_event.set()
             self._inflight.pop(execution.key, None)
             self._settle_jobs(execution)
@@ -434,6 +520,7 @@ class JobManager:
             state = job.state
             if state in ("done", "failed"):
                 job.finished = time.monotonic()
+                job.finished_ts = time.time()
                 self._count(
                     "serve.completed_jobs"
                     if state == "done"
@@ -496,6 +583,9 @@ class JobManager:
                 for e in job.executions
             ],
         }
+        spans = self._job_spans(job)
+        if spans is not None:
+            telemetry["spans"] = spans
         return JobStatus(
             job_id=job.job_id,
             state=job.state,
@@ -511,6 +601,126 @@ class JobManager:
             error=error,
             telemetry=telemetry,
         )
+
+    def _job_spans(self, job: _Job) -> Optional[List[Dict[str, object]]]:
+        """The server-side span tree of one traced job (else ``None``).
+
+        Synthesized on demand from the wall-clock twins of the
+        monotonic lifecycle timestamps — nothing here runs unless the
+        submission carried a ``trace_context``, and nothing here is
+        ever read back by the manager, so tracing stays a pure
+        observer.  The ``unit.build``/``unit.sim`` children are
+        anchored at the tail of ``unit.exec`` using the worker's
+        schema-3 ``build_s``/``sim_s`` split (the executor hand-off
+        before them is real queue/pickle time, rendered as the exec
+        span's gap).
+        """
+        if job.trace is None:
+            return None
+        trace_id = job.trace["trace_id"]
+        now_ts = time.time()
+        end_ts = job.finished_ts if job.finished_ts is not None else now_ts
+        records = [
+            span_record(
+                name="server.submit",
+                trace_id=trace_id,
+                span_id=job.span_id,
+                parent_id=job.trace.get("parent_id"),
+                start_s=job.created_ts,
+                end_s=end_ts,
+                attrs={"job_id": job.job_id, "state": job.state},
+            )
+        ]
+        for e in job.executions:
+            config = e.unit.config.name
+            if e.cached:
+                records.append(
+                    span_record(
+                        name="unit.cache_hit",
+                        trace_id=trace_id,
+                        parent_id=job.span_id,
+                        start_s=e.created_ts,
+                        end_s=e.created_ts,
+                        attrs={"config": config},
+                    )
+                )
+                continue
+            queue_end = e.started_ts if e.started_ts is not None else end_ts
+            records.append(
+                span_record(
+                    name="unit.queue",
+                    trace_id=trace_id,
+                    parent_id=job.span_id,
+                    start_s=e.created_ts,
+                    end_s=queue_end,
+                    attrs={"config": config, "cost": e.cost},
+                )
+            )
+            if e.started_ts is None:
+                continue
+            exec_end = (
+                e.finished_ts if e.finished_ts is not None else now_ts
+            )
+            exec_id = new_id()
+            records.append(
+                span_record(
+                    name="unit.exec",
+                    trace_id=trace_id,
+                    span_id=exec_id,
+                    parent_id=job.span_id,
+                    start_s=e.started_ts,
+                    end_s=exec_end,
+                    status=(
+                        f"error: {e.error}" if e.state == "failed" else "ok"
+                    ),
+                    attrs={"config": config, "state": e.state},
+                )
+            )
+            if e.state == "done" and (e.build_s > 0.0 or e.sim_s > 0.0):
+                sim_start = max(e.started_ts, exec_end - e.sim_s)
+                build_start = max(
+                    e.started_ts, sim_start - e.build_s
+                )
+                records.append(
+                    span_record(
+                        name="unit.build",
+                        trace_id=trace_id,
+                        parent_id=exec_id,
+                        start_s=build_start,
+                        end_s=sim_start,
+                        attrs={"config": config},
+                    )
+                )
+                records.append(
+                    span_record(
+                        name="unit.sim",
+                        trace_id=trace_id,
+                        parent_id=exec_id,
+                        start_s=sim_start,
+                        end_s=exec_end,
+                        attrs={"config": config},
+                    )
+                )
+        records.extend(job.extra_spans)
+        return records
+
+    def storage_stats(self) -> Dict[str, object]:
+        """Cache-pressure stats for ``/v1/healthz``.
+
+        ``results`` mirrors :meth:`ResultCache.stats` and ``traces``
+        :meth:`TraceStore.stats`; a disabled store reports ``None`` so
+        operators can tell "empty" from "not configured".
+        """
+        return {
+            "results": (
+                self.cache.stats() if self.cache is not None else None
+            ),
+            "traces": (
+                self.trace_store.stats()
+                if self.trace_store is not None
+                else None
+            ),
+        }
 
     def result(self, job_id: str) -> JobResult:
         """The completed :class:`JobResult`; raises until it exists."""

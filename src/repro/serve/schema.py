@@ -42,12 +42,17 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, Optional, Tuple
 
 from repro.exec.cache import canonical_json
+from repro.obs.spans import validate_context
 from repro.sim.results import RunResult
 
 #: Version of the request/response JSON layout.  Bump on any change to
 #: the field set or meaning of the dataclasses below; the daemon and
 #: client reject mismatched payloads outright.
-SCHEMA_VERSION = 1
+#: 2: ``SubmitRequest.trace_context`` — the optional span-propagation
+#: context (``trace_id``/``parent_id``).  A serving-only telemetry
+#: field like ``client_id``: excluded from the coalescing identity, so
+#: traced and untraced submissions share jobs, caches, and bytes.
+SCHEMA_VERSION = 2
 
 #: Admission-priority classes, best first.  Interactive jobs are always
 #: dispatched before batch jobs of any cost (the priority-traffic-class
@@ -92,6 +97,11 @@ class SubmitRequest:
     #: excluded from the coalescing identity.
     client_id: str = "anonymous"
     service_class: str = "interactive"
+    #: Optional span-propagation context (:mod:`repro.obs.spans`):
+    #: ``{"trace_id": ..., "parent_id": ...}``.  Pure telemetry — it is
+    #: excluded from :meth:`canonical` (and therefore :meth:`job_id`),
+    #: never reaches the simulator, and never touches ``unit_key``.
+    trace_context: Optional[Dict[str, str]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "configs", tuple(self.configs))
@@ -118,6 +128,12 @@ class SubmitRequest:
             )
         if not self.client_id:
             raise SchemaError("client_id must be non-empty")
+        try:
+            object.__setattr__(
+                self, "trace_context", validate_context(self.trace_context)
+            )
+        except ValueError as exc:
+            raise SchemaError(str(exc)) from None
 
     # -- identity ------------------------------------------------------
 
@@ -205,6 +221,8 @@ class SubmitRequest:
         out.update(self.canonical())
         out["client_id"] = self.client_id
         out["service_class"] = self.service_class
+        if self.trace_context is not None:
+            out["trace_context"] = dict(self.trace_context)
         return out
 
     @classmethod

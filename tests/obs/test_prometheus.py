@@ -1,0 +1,119 @@
+"""Prometheus text exposition: naming, values, and format grammar."""
+
+import math
+import re
+
+from repro.obs import MetricsRegistry
+from repro.obs.prometheus import (
+    CONTENT_TYPE,
+    metric_name,
+    render_prometheus,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r'(?:\{le="(?P<le>[^"]*)"\})? (?P<value>\S+)$'
+)
+
+
+def parse_exposition(text):
+    """Minimal 0.0.4 text-format parser: ``{metric: (type, samples)}``.
+
+    Enforces the line grammar the serve smoke and scrapers rely on:
+    every sample line matches name[{le=...}] value, every sample is
+    preceded by a # TYPE declaration for its family, and values parse
+    as floats.
+    """
+    assert text.endswith("\n")
+    families = {}
+    current = None
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, kind = rest.rsplit(" ", 1)
+            assert _NAME_RE.match(name), name
+            assert kind in ("counter", "gauge", "histogram"), kind
+            assert name not in families, f"duplicate family {name}"
+            families[name] = (kind, [])
+            current = name
+            continue
+        match = _SAMPLE_RE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        sample = match.group("name")
+        assert current is not None and sample.startswith(current), line
+        value = match.group("value")
+        float(value) if value not in ("+Inf", "-Inf") else None
+        families[current][1].append(
+            (sample, match.group("le"), value)
+        )
+    return families
+
+
+def test_content_type_is_prometheus_004():
+    assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+def test_metric_name_sanitisation():
+    assert metric_name("serve.queue_ms") == "serve_queue_ms"
+    assert metric_name("noc.link.0>1.util") == "noc_link_0_1_util"
+    assert metric_name("9lives") == "_9lives"  # leading digit escaped
+
+
+def test_counters_gauges_and_histograms_render():
+    registry = MetricsRegistry()
+    registry.counter("serve.executions").inc(3)
+    registry.gauge("serve.queue_depth").set(2)
+    histogram = registry.histogram("serve.queue_ms", buckets=(1, 10, 100))
+    for value in (0.5, 5, 5, 50, 5000):
+        histogram.observe(value)
+    text = render_prometheus(registry.snapshot())
+    families = parse_exposition(text)
+
+    kind, samples = families["serve_executions_total"]
+    assert kind == "counter"
+    assert samples == [("serve_executions_total", None, "3")]
+
+    kind, samples = families["serve_queue_depth"]
+    assert kind == "gauge"
+    assert samples == [("serve_queue_depth", None, "2")]
+
+    kind, samples = families["serve_queue_ms"]
+    assert kind == "histogram"
+    buckets = [(le, float(v)) for name, le, v in samples
+               if name == "serve_queue_ms_bucket"]
+    # Cumulative, monotone, closed by +Inf at the full count.
+    assert buckets == [("1", 1.0), ("10", 3.0), ("100", 4.0),
+                       ("+Inf", 5.0)]
+    values = {name: v for name, le, v in samples if le is None}
+    assert float(values["serve_queue_ms_count"]) == 5.0
+    assert float(values["serve_queue_ms_sum"]) == 5060.5
+
+
+def test_inf_bucket_synthesised_when_overflow_empty():
+    """The snapshot omits empty buckets; the +Inf closer must still
+    appear (Prometheus requires it) at the full count."""
+    registry = MetricsRegistry()
+    registry.histogram("lat", buckets=(1, 10)).observe(0.5)
+    text = render_prometheus(registry.snapshot())
+    assert 'lat_bucket{le="+Inf"} 1' in text
+    families = parse_exposition(text)
+    buckets = [s for s in families["lat"][1] if s[0] == "lat_bucket"]
+    assert buckets[-1][1] == "+Inf"
+
+
+def test_prefix_and_empty_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("jobs").inc(1)
+    text = render_prometheus(registry.snapshot(), prefix="repro.")
+    assert "# TYPE repro_jobs_total counter" in text
+    assert render_prometheus({}) == "\n"
+
+
+def test_none_values_render_as_nan():
+    text = render_prometheus({"gauges": {"warm": None}})
+    families = parse_exposition(text)
+    ((_, _, value),) = families["warm"][1]
+    assert math.isnan(float(value))

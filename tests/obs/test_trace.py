@@ -41,6 +41,25 @@ def test_window_filtering():
     assert filter_window(trace.to_records(), 9, None)[0]["cycle"] == 9
 
 
+def test_window_filtering_across_ring_wrap():
+    """Window queries must see the re-ordered (oldest-first) view even
+    when the ring has wrapped and the physical buffer order differs
+    from emission order."""
+    trace = EventTrace(capacity=6)
+    for i in range(10):  # wraps: buffer holds cycles 4..9, head mid-array
+        trace.emit(i, "l1_lookup", core=0)
+    assert trace.dropped == 4
+    # Bounds straddling the wrap point return contiguous cycles.
+    assert [r["cycle"] for r in trace.window(5, 8)] == [5, 6, 7]
+    # Unbounded sides clip to what the ring still holds.
+    assert [r["cycle"] for r in trace.window(start=7)] == [7, 8, 9]
+    assert [r["cycle"] for r in trace.window(end=6)] == [4, 5]
+    # Evicted cycles are gone, not silently remapped.
+    assert trace.window(0, 4) == []
+    # A window over everything equals the full oldest-first view.
+    assert trace.window() == trace.to_records()
+
+
 def test_jsonl_round_trip(tmp_path):
     trace = EventTrace()
     trace.emit(1, "shootdown", initiator=3, entries=2)

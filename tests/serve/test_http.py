@@ -10,6 +10,7 @@ import time
 import pytest
 
 from repro.exec.runner import Runner
+from repro.obs.spans import Tracer, build_tree, coverage
 from repro.serve import (
     SCHEMA_VERSION,
     BackgroundDaemon,
@@ -20,6 +21,7 @@ from repro.serve import (
 from repro.serve import jobs as jobs_mod
 from repro.serve.schema import SubmitRequest
 
+from tests.obs.test_prometheus import parse_exposition
 from tests.serve._requests import serve_corpus
 
 
@@ -121,6 +123,205 @@ def test_health_status_and_metrics(daemon):
     assert "serve.exec_ms" in metrics["histograms"]
     result = daemon.result(job_id)
     assert result.speedup("nocstar") > 0.0
+
+
+# ----------------------------------------------------------------------
+# span tracing across the wire
+
+def test_traced_run_assembles_full_span_tree():
+    """One traced submission yields one tree covering client -> HTTP ->
+    queue -> worker -> build/sim — and the traced result stays
+    byte-identical to a direct Runner call (purity)."""
+    request = _request()
+    direct = Runner(jobs=1, cache_dir=None).run_one(request.scenario())
+    tracer = Tracer()
+    with BackgroundDaemon(ServeConfig(workers=0, quota=0)) as url:
+        served = ServeClient(url, timeout=30.0, tracer=tracer).run(
+            request, timeout=300.0
+        )
+    for name, result in direct.results.items():
+        assert pickle.dumps(served.results[name]) == pickle.dumps(result)
+
+    names = {r["name"] for r in tracer.records}
+    assert {"client.request", "client.submit", "client.wait",
+            "client.result", "server.submit", "unit.queue", "unit.exec",
+            "unit.build", "unit.sim"} <= names
+    roots, children = build_tree(tracer.records)
+    assert [r["name"] for r in roots] == ["client.request"]
+    # Every span shares the client's trace id.
+    assert {r["trace_id"] for r in tracer.records} == {tracer.trace_id}
+    # The coverage identity the CLI's attribution table rests on.
+    info = coverage(roots[0], children)
+    assert info["duration"] == pytest.approx(
+        info["child_s"] + info["gap_s"]
+    )
+    # server.submit hangs under client.submit via the wire context.
+    by_name = {r["name"]: r for r in tracer.records}
+    assert by_name["server.submit"]["parent_id"] == \
+        by_name["client.submit"]["span_id"]
+
+
+def test_untraced_submission_carries_no_spans(daemon):
+    job_id = daemon.submit(_request())["job_id"]
+    status = daemon.wait(job_id, timeout=300.0)
+    assert "spans" not in status.telemetry
+
+
+def test_coalesced_submission_recorded_as_span():
+    request = _request()
+    tracer = Tracer()
+    with BackgroundDaemon(ServeConfig(workers=0, quota=0)) as url:
+        client = ServeClient(url, timeout=30.0, tracer=tracer)
+        with client.request_span():
+            first = client.submit(request)
+            second = client.submit(request)
+            assert second["coalesced"]
+            status = client.wait(first["job_id"], timeout=300.0)
+    assert status.state == "done"
+    names = [r["name"] for r in tracer.records]
+    assert names.count("client.submit") == 2
+    assert "server.coalesced" in {
+        r["name"] for r in status.telemetry["spans"]
+    }
+
+
+def test_quota_reject_recorded_in_span_log(monkeypatch):
+    def slow_execute(unit, artifact=None):
+        time.sleep(0.3)
+        return slow_execute.real(unit, artifact)
+
+    slow_execute.real = jobs_mod.execute_unit
+    monkeypatch.setattr(jobs_mod, "execute_unit", slow_execute)
+    tracer = Tracer()
+    background = BackgroundDaemon(ServeConfig(workers=0, quota=1))
+    with background as url:
+        client = ServeClient(url, timeout=30.0, tracer=tracer)
+        first = client.submit(_request(seed=1, configs=("nocstar",)))
+        with pytest.raises(ServeError) as excinfo:
+            client.submit(_request(seed=2, configs=("nocstar",)))
+        assert excinfo.value.status == 429
+        rejects = [
+            r for r in background.manager.span_log
+            if r["name"] == "server.quota_reject"
+        ]
+        assert len(rejects) == 1
+        assert rejects[0]["trace_id"] == tracer.trace_id
+        client.wait(first["job_id"], timeout=300.0)
+    # The client-side submit span carries the failure status.
+    submit_spans = [
+        r for r in tracer.records if r["name"] == "client.submit"
+    ]
+    assert any(r["status"].startswith("error") for r in submit_spans)
+
+
+def test_watch_yields_snapshots_until_terminal(monkeypatch):
+    def slow_execute(unit, artifact=None):
+        time.sleep(0.3)
+        return slow_execute.real(unit, artifact)
+
+    slow_execute.real = jobs_mod.execute_unit
+    monkeypatch.setattr(jobs_mod, "execute_unit", slow_execute)
+    with BackgroundDaemon(ServeConfig(workers=0, quota=0)) as url:
+        client = ServeClient(url, timeout=30.0)
+        job_id = client.submit(_request(configs=("nocstar",)))["job_id"]
+        snapshots = list(client.watch(job_id, interval_s=0.05))
+    assert snapshots and snapshots[-1].done
+    assert all(s.job_id == job_id for s in snapshots)
+    states = [s.state for s in snapshots]
+    assert states == sorted(
+        states, key=["queued", "running", "done"].index
+    )
+
+
+def test_watch_timeout(monkeypatch):
+    def slow_execute(unit, artifact=None):
+        time.sleep(1.0)
+        return slow_execute.real(unit, artifact)
+
+    slow_execute.real = jobs_mod.execute_unit
+    monkeypatch.setattr(jobs_mod, "execute_unit", slow_execute)
+    with BackgroundDaemon(ServeConfig(workers=0, quota=0)) as url:
+        client = ServeClient(url, timeout=30.0)
+        job_id = client.submit(_request(configs=("nocstar",)))["job_id"]
+        with pytest.raises(TimeoutError):
+            for _ in client.watch(job_id, interval_s=0.05, timeout=0.1):
+                pass
+        client.wait(job_id, timeout=300.0)
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition & storage stats
+
+def test_metrics_content_negotiation(daemon):
+    daemon.run(_request(), timeout=300.0)
+    # Default stays JSON (existing dashboards keep working).
+    snapshot = daemon.metrics()
+    assert snapshot["counters"]["serve.executions"] == 2
+    # Accept: text/plain switches to the Prometheus exposition, which
+    # must survive a strict parse of the 0.0.4 line grammar.
+    text = daemon.metrics_text()
+    families = parse_exposition(text)
+    kind, samples = families["serve_executions_total"]
+    assert kind == "counter"
+    assert samples == [("serve_executions_total", None, "2")]
+    assert families["serve_queue_ms"][0] == "histogram"
+    buckets = [s for s in families["serve_queue_ms"][1]
+               if s[0] == "serve_queue_ms_bucket"]
+    assert buckets[-1][1] == "+Inf"
+
+
+def test_metrics_raw_accept_header(daemon):
+    """What an actual Prometheus scraper sends (q-listed Accept)."""
+    daemon.run(_request(), timeout=300.0)
+    status, payload = daemon._request(
+        "GET", "/v1/metrics",
+        accept="text/plain;version=0.0.4;q=0.5,*/*;q=0.1",
+    )
+    assert status == 200
+    parse_exposition(payload["text"])
+
+
+def test_metrics_served_during_active_dispatch(monkeypatch):
+    """The exposition endpoint must answer while workers are busy —
+    a scraper's GET cannot wait for the queue to drain."""
+    def slow_execute(unit, artifact=None):
+        time.sleep(0.5)
+        return slow_execute.real(unit, artifact)
+
+    slow_execute.real = jobs_mod.execute_unit
+    monkeypatch.setattr(jobs_mod, "execute_unit", slow_execute)
+    with BackgroundDaemon(ServeConfig(workers=0, quota=0)) as url:
+        client = ServeClient(url, timeout=30.0)
+        job_id = client.submit(_request(configs=("nocstar",)))["job_id"]
+        started = time.monotonic()
+        text = client.metrics_text()
+        elapsed = time.monotonic() - started
+        assert elapsed < 0.4, elapsed  # answered mid-execution
+        families = parse_exposition(text)
+        assert "serve_submissions_total" in families
+        assert client.health()["ok"]
+        client.wait(job_id, timeout=300.0)
+
+
+def test_healthz_reports_storage_stats(tmp_path):
+    config = ServeConfig(
+        workers=0, quota=0,
+        cache_dir=str(tmp_path / "cache"),
+        trace_store=str(tmp_path / "traces"),
+    )
+    with BackgroundDaemon(config) as url:
+        client = ServeClient(url, timeout=30.0)
+        storage = client.health()["storage"]
+        assert storage["results"]["entries"] == 0
+        client.run(_request(), timeout=300.0)
+        storage = client.health()["storage"]
+        assert storage["results"]["entries"] == 2
+        assert storage["results"]["bytes"] > 0
+        assert storage["traces"]["artifacts"] >= 1
+    # Disabled stores report None, not zeros.
+    with BackgroundDaemon(ServeConfig(workers=0, quota=0)) as url:
+        storage = ServeClient(url).health()["storage"]
+        assert storage == {"results": None, "traces": None}
 
 
 # ----------------------------------------------------------------------

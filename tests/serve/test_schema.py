@@ -99,6 +99,38 @@ def test_job_id_tracks_outcome_fields():
     assert _request().job_id() != _request(metrics=True).job_id()
 
 
+def test_trace_context_round_trip():
+    context = {"trace_id": "a" * 16, "parent_id": "b" * 16}
+    request = _request(trace_context=context)
+    assert request.trace_context == context
+    assert SubmitRequest.from_dict(request.to_dict()) == request
+    # Absent context stays absent on the wire.
+    assert "trace_context" not in _request().to_dict()
+
+
+def test_trace_context_never_reaches_job_identity():
+    """The purity invariant: tracing a submission must not change what
+    it simulates or which job it coalesces onto."""
+    traced = _request(trace_context={"trace_id": "f" * 16})
+    untraced = _request()
+    assert traced.job_id() == untraced.job_id()
+    assert "trace_context" not in traced.canonical()
+
+
+@pytest.mark.parametrize(
+    "context",
+    [
+        "abc",                                   # not an object
+        {"trace_id": "abc", "span": "x"},        # unknown key
+        {"parent_id": "abc"},                    # missing trace_id
+        {"trace_id": ""},                        # empty value
+    ],
+)
+def test_trace_context_validation(context):
+    with pytest.raises(SchemaError, match="trace_context"):
+        _request(trace_context=context)
+
+
 def test_scenario_rejects_unknown_names():
     with pytest.raises(SchemaError, match="unknown config"):
         _request(configs=("hyperloop",)).scenario()

@@ -268,6 +268,115 @@ def test_submit_and_status_against_daemon(capsys):
         assert "serve.submissions" in health_out
 
 
+def test_submit_span_out_and_trace_command(tmp_path, capsys):
+    from repro.serve import BackgroundDaemon, ServeConfig
+
+    span_path = str(tmp_path / "spans.jsonl")
+    with BackgroundDaemon(ServeConfig(workers=0, quota=0)) as url:
+        assert main(
+            [
+                "submit", "--url", url, "--workload", "olio",
+                "--cores", "4", "--accesses", "600",
+                "--configs", "nocstar", "--span-out", span_path,
+            ]
+        ) == 0
+    captured = capsys.readouterr()
+    assert "[spans] wrote" in captured.err
+
+    assert main(["trace", span_path]) == 0
+    rendered = capsys.readouterr().out
+    assert "span trace" in rendered and "critical path" in rendered
+    # The tree spans every layer of the serving tier.
+    for name in ("client.request", "client.submit", "server.submit",
+                 "unit.exec", "unit.build", "unit.sim"):
+        assert name in rendered, name
+
+
+def test_run_span_out_local(tmp_path, capsys):
+    span_path = str(tmp_path / "run-spans.jsonl")
+    assert main(
+        [
+            "run", "--workload", "olio", "--cores", "4",
+            "--accesses", "600", "--configs", "nocstar", "--no-cache",
+            "--span-out", span_path,
+        ]
+    ) == 0
+    assert "[spans] wrote" in capsys.readouterr().err
+    assert main(["trace", span_path, "--top", "3"]) == 0
+    rendered = capsys.readouterr().out
+    assert "runner.execute" in rendered
+    assert "unit.sim" in rendered
+
+
+def test_trace_command_missing_file():
+    with pytest.raises(SystemExit, match="cannot read"):
+        main(["trace", "/nonexistent/spans.jsonl"])
+
+
+def test_status_watch(capsys):
+    from repro.serve import BackgroundDaemon, ServeConfig
+
+    with BackgroundDaemon(ServeConfig(workers=0, quota=0)) as url:
+        assert main(
+            [
+                "submit", "--url", url, "--workload", "olio",
+                "--cores", "4", "--accesses", "600",
+                "--configs", "nocstar", "--no-wait",
+            ]
+        ) == 0
+        job_id = capsys.readouterr().out.strip().splitlines()[-1]
+        assert main(
+            ["status", job_id, "--url", url, "--watch", "0.05"]
+        ) == 0
+        watched = capsys.readouterr()
+        assert f"job {job_id}: done" in watched.out
+        assert "nocstar" in watched.out
+
+
+def test_status_shows_storage_stats(tmp_path, capsys):
+    from repro.serve import BackgroundDaemon, ServeConfig
+
+    config = ServeConfig(
+        workers=0, quota=0, cache_dir=str(tmp_path / "cache")
+    )
+    with BackgroundDaemon(config) as url:
+        assert main(
+            [
+                "submit", "--url", url, "--workload", "olio",
+                "--cores", "4", "--accesses", "600",
+                "--configs", "nocstar",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["status", "--url", url]) == 0
+        out = capsys.readouterr().out
+        assert "[storage] results: 2 entr(ies)" in out
+
+
+def test_report_degrades_on_pre_schema3_telemetry(tmp_path, capsys):
+    """Telemetry written before the build/sim split (schema < 3, or an
+    explicit null) renders "-" placeholders instead of crashing."""
+    import json
+
+    path = tmp_path / "telemetry.jsonl"
+    rows = [
+        {"schema": 2, "config": "nocstar", "workload": "gups",
+         "cycles": 1234, "cache": "miss"},                  # no keys at all
+        {"schema": 3, "config": "private", "workload": "gups",
+         "cycles": 999, "cache": "hit", "build_s": None,
+         "sim_s": None},                                    # explicit nulls
+        {"schema": 3, "config": "ideal", "workload": "gups",
+         "cycles": 500, "cache": "miss", "build_s": 0.25,
+         "sim_s": 1.5},                                     # real split
+    ]
+    path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+    assert main(["report", str(path)]) == 0
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if "nocstar/gups" in line]
+    assert lines and lines[0].count("-") >= 2
+    assert any("0.25" in line for line in out.splitlines())
+
+
 def test_submit_unreachable_daemon():
     with pytest.raises(SystemExit, match="unreachable"):
         main(

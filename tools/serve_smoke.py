@@ -24,11 +24,16 @@ sys.path.insert(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
 )
 
+from repro.obs.spans import Tracer, build_tree, coverage  # noqa: E402
 from repro.serve import ServeClient  # noqa: E402
 from repro.serve.schema import SubmitRequest  # noqa: E402
 
 STARTUP_TIMEOUT_S = 30.0
 RUN_TIMEOUT_S = 300.0
+
+#: Span sidecar written by the traced submission (uploaded as a CI
+#: artifact; override with $SERVE_SMOKE_SPANS).
+SPAN_PATH = os.environ.get("SERVE_SMOKE_SPANS", ".serve-smoke-spans.jsonl")
 
 
 def _fail(process: subprocess.Popen, message: str) -> int:
@@ -67,10 +72,12 @@ def main() -> int:
         return _fail(process, "daemon never printed its 'serving on' line")
     print(f"serve-smoke: daemon up at {url}")
 
-    client = ServeClient(url, timeout=30.0)
+    tracer = Tracer()
+    client = ServeClient(url, timeout=30.0, tracer=tracer)
     try:
         health = client.health()
         assert health["ok"] and health["workers"] == 2, health
+        assert "storage" in health, health  # cache/trace-store stats
 
         request = SubmitRequest(
             workload="olio",
@@ -84,6 +91,40 @@ def main() -> int:
         speedup = result.speedup("nocstar")
         assert speedup > 0.0, speedup
         print(f"serve-smoke: nocstar speedup {speedup:.3f}x over private")
+
+        # One traced submission must yield one span tree covering
+        # client -> HTTP -> queue -> worker -> build/sim, with the
+        # root's wall time equal to child coverage + recorded gaps
+        # (within 5%, per the coverage identity).
+        names = {r["name"] for r in tracer.records}
+        for needed in ("client.request", "client.submit", "server.submit",
+                       "unit.queue", "unit.exec", "unit.build", "unit.sim"):
+            assert needed in names, (needed, sorted(names))
+        roots, children = build_tree(tracer.records)
+        client_roots = [r for r in roots if r["name"] == "client.request"]
+        assert len(client_roots) == 1, [r["name"] for r in roots]
+        info = coverage(client_roots[0], children)
+        assert info["duration"] > 0.0, info
+        assert abs(
+            info["duration"] - (info["child_s"] + info["gap_s"])
+        ) <= 0.05 * info["duration"], info
+        count = tracer.export_jsonl(SPAN_PATH)
+        print(f"serve-smoke: wrote {count} span(s) to {SPAN_PATH}")
+        render = subprocess.run(
+            [sys.executable, "-m", "repro", "trace", SPAN_PATH],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert render.returncode == 0, render.stderr
+        assert "critical path" in render.stdout, render.stdout
+        print("serve-smoke: `repro trace` rendered the span tree")
+
+        # Prometheus exposition via content negotiation.
+        text = client.metrics_text()
+        assert "# TYPE serve_executions_total counter" in text, text
+        assert 'serve_queue_ms_bucket{le="+Inf"}' in text, text
+        print("serve-smoke: Prometheus exposition negotiated")
 
         # A duplicate submission coalesces onto the retained job and
         # returns the byte-identical payload.
