@@ -22,6 +22,13 @@ from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exec.runner import Runner
+from repro.experiments import get_campaign, run_campaign
+from repro.experiments.campaigns import (
+    FULL_ACCESSES,
+    REDUCED_ACCESSES,
+    REDUCED_WORKLOADS,
+)
+from repro.experiments.campaigns import SEED as CAMPAIGN_SEED
 from repro.sim import configs as cfg
 from repro.sim.engine import ShootdownTraffic, StormConfig, simulate
 from repro.sim.run import Comparison
@@ -34,15 +41,20 @@ BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
 #: Directory of the content-addressed result cache ("" disables).
 BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE", "") or None
 
+#: The campaign scale this bench run reproduces.  The figure benches
+#: and `repro experiments run` share one definition of each operating
+#: point (repro.experiments.campaigns), so the numbers in
+#: EXPERIMENTS.md, the drift-gate pins, and the bench tables can never
+#: drift apart.
+BENCH_SCALE = "full" if FULL_SCALE else "reduced"
+
 #: Accesses per core for the standard per-workload figures.
-ACCESSES = 12_000 if FULL_SCALE else 5_000
+ACCESSES = FULL_ACCESSES if FULL_SCALE else REDUCED_ACCESSES
 #: Reduced workload roster for the heaviest sweeps.
 HEAVY_WORKLOADS = (
-    list(WORKLOAD_NAMES)
-    if FULL_SCALE
-    else ["graph500", "canneal", "xsbench", "olio", "gups"]
+    list(WORKLOAD_NAMES) if FULL_SCALE else list(REDUCED_WORKLOADS)
 )
-SEED = 11
+SEED = CAMPAIGN_SEED
 
 
 @lru_cache(maxsize=64)
@@ -80,6 +92,24 @@ def multiprog_workload(
 def runner() -> Runner:
     """A Runner honouring the bench environment knobs."""
     return Runner(jobs=BENCH_JOBS, cache_dir=BENCH_CACHE)
+
+
+def campaign(name: str):
+    """The shared campaign spec for one figure (repro.experiments)."""
+    return get_campaign(name)
+
+
+def bench_campaign(name: str):
+    """Run one figure's campaign at the bench scale.
+
+    The figure benches are thin consumers of the campaign specs: the
+    grid (workloads x cores x configs x accesses x seed) lives in
+    ``repro.experiments.campaigns``, execution honours the bench env
+    knobs via :func:`runner`, and the returned
+    :class:`~repro.experiments.CampaignRun` carries the tidy tables and
+    summary metrics the bench renders and asserts on.
+    """
+    return run_campaign(name, scale=BENCH_SCALE, runner=runner())
 
 
 def lineup(names: Sequence[str], cores: int) -> List[cfg.SystemConfig]:

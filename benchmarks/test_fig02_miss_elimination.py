@@ -5,48 +5,42 @@ Paper: the shared TLB eliminates the majority of private L2 misses
 (70-90% in the original shared-TLB study), and the effect strengthens
 with core count; poor-locality workloads (canneal, gups, xsbench) gain
 most at high core counts.
+
+The experiment grid is the shared ``fig2`` campaign spec
+(``repro.experiments.campaigns``); this bench renders the campaign's
+tidy table in the paper's layout and asserts the qualitative shape.
 """
 
-import pytest
-
 from repro.analysis.tables import render_table
-from repro.sim import configs as cfg
 
-from _common import ACCESSES, HEAVY_WORKLOADS, once, report, run_lineup
-
-CORE_COUNTS = (16, 32, 64)
+from _common import bench_campaign, once, report
 
 
 def run():
-    rows = []
-    elim = {}
-    for name in HEAVY_WORKLOADS:
-        row = [name]
-        for cores in CORE_COUNTS:
-            lineup = run_lineup(
-                name, cores, [cfg.private(cores), cfg.distributed(cores)]
-            )
-            pct = lineup.misses_eliminated_pct("distributed")
-            elim[(name, cores)] = pct
-            row.append(pct)
-        rows.append(row)
-    averages = ["Avg"] + [
-        sum(elim[(n, c)] for n in HEAVY_WORKLOADS) / len(HEAVY_WORKLOADS)
-        for c in CORE_COUNTS
-    ]
-    rows.append(averages)
-    return elim, rows
+    return bench_campaign("fig2")
 
 
 def test_fig2_miss_elimination(benchmark):
-    elim, rows = once(benchmark, run)
-    headers = ["workload"] + [f"{c}-core (%)" for c in CORE_COUNTS]
+    result = once(benchmark, run)
+    workloads = result.scale.workloads
+    core_counts = result.scale.core_counts
+    elim = {
+        (row["workload"], row["cores"]): row["eliminated_pct"]
+        for row in result.tables["miss_elimination"]
+    }
+    rows = [
+        [name] + [elim[(name, c)] for c in core_counts]
+        for name in workloads
+    ]
+    rows.append(
+        ["Avg"] + [result.summary[f"elim_avg.c{c}"] for c in core_counts]
+    )
+    headers = ["workload"] + [f"{c}-core (%)" for c in core_counts]
     report("fig02_miss_elimination", render_table(headers, rows, precision=1))
 
-    for name in HEAVY_WORKLOADS:
+    for name in workloads:
         # The shared TLB removes a large fraction of misses everywhere...
         assert elim[(name, 16)] > 35.0
         # ...and higher core counts eliminate at least as much.
         assert elim[(name, 64)] > elim[(name, 16)]
-    avg64 = sum(elim[(n, 64)] for n in HEAVY_WORKLOADS) / len(HEAVY_WORKLOADS)
-    assert avg64 > 55.0
+    assert result.summary["elim_avg.c64"] > 55.0

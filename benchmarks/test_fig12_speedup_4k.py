@@ -5,40 +5,34 @@ zero-interconnect-latency ideal.
 Paper: NOCSTAR averages 1.13x (max 1.25x) and beats every other
 configuration; monolithic *degrades* performance on average; NOCSTAR
 comes within ~2% of ideal.
+
+The experiment grid is the shared ``fig12`` campaign spec
+(``repro.experiments.campaigns``); this bench renders the campaign's
+speedup table in the paper's layout and asserts the qualitative shape.
 """
 
 from repro.analysis.tables import render_table
-from repro.sim import configs as cfg
 
-from _common import HEAVY_WORKLOADS, once, report, run_lineup
+from _common import bench_campaign, once, report
 
-CORES = 16
 CONFIG_NAMES = ("monolithic-mesh", "distributed", "nocstar", "ideal")
 
 
 def run():
-    table = {}
-    for name in HEAVY_WORKLOADS:
-        lineup = run_lineup(
-            name,
-            CORES,
-            cfg.paper_lineup(CORES),
-            superpages=False,
-        )
-        table[name] = lineup.speedups()
-    return table
+    return bench_campaign("fig12")
 
 
 def test_fig12_speedups_4k_only(benchmark):
-    table = once(benchmark, run)
+    result = once(benchmark, run)
+    workloads = result.scale.workloads
+    table = {name: {} for name in workloads}
+    for row in result.tables["speedups"]:
+        table[row["workload"]][row["config"]] = row["speedup"]
+    avg = {c: result.summary[f"speedup_avg.{c}"] for c in CONFIG_NAMES}
     rows = [
         [name] + [table[name][c] for c in CONFIG_NAMES]
-        for name in HEAVY_WORKLOADS
+        for name in workloads
     ]
-    avg = {
-        c: sum(table[n][c] for n in HEAVY_WORKLOADS) / len(HEAVY_WORKLOADS)
-        for c in CONFIG_NAMES
-    }
     rows.append(["average"] + [avg[c] for c in CONFIG_NAMES])
     report(
         "fig12_speedup_4k",
@@ -48,4 +42,4 @@ def test_fig12_speedups_4k_only(benchmark):
     assert avg["nocstar"] > 1.05
     assert avg["nocstar"] > avg["distributed"] > avg["monolithic-mesh"]
     assert avg["nocstar"] / avg["ideal"] >= 0.93
-    assert max(table[n]["nocstar"] for n in HEAVY_WORKLOADS) > 1.1
+    assert result.summary["speedup_max.nocstar"] > 1.1

@@ -5,38 +5,34 @@ Paper: NOCSTAR's advantage *persists or grows* with superpages —
 superpages cut shared-L2 misses, so access time becomes a bigger share
 of translation cost, which is exactly what NOCSTAR attacks; xsbench and
 gups exceed 1.2x.
+
+The experiment grid is the shared ``fig13`` campaign spec
+(``repro.experiments.campaigns``); this bench renders the campaign's
+speedup table in the paper's layout and asserts the qualitative shape.
 """
 
 from repro.analysis.tables import render_table
-from repro.sim import configs as cfg
 
-from _common import HEAVY_WORKLOADS, once, report, run_lineup
+from _common import bench_campaign, once, report
 
-CORES = 16
 CONFIG_NAMES = ("monolithic-mesh", "distributed", "nocstar", "ideal")
 
 
 def run():
-    table = {}
-    for name in HEAVY_WORKLOADS:
-        lineup = run_lineup(
-            name, CORES, cfg.paper_lineup(CORES), superpages=True
-        )
-        table[name] = lineup.speedups()
-        table[name]["_misses"] = lineup.results["nocstar"].stats.l2_misses
-    return table
+    return bench_campaign("fig13")
 
 
 def test_fig13_speedups_with_superpages(benchmark):
-    table = once(benchmark, run)
+    result = once(benchmark, run)
+    workloads = result.scale.workloads
+    table = {name: {} for name in workloads}
+    for row in result.tables["speedups"]:
+        table[row["workload"]][row["config"]] = row["speedup"]
+    avg = {c: result.summary[f"speedup_avg.{c}"] for c in CONFIG_NAMES}
     rows = [
         [name] + [table[name][c] for c in CONFIG_NAMES]
-        for name in HEAVY_WORKLOADS
+        for name in workloads
     ]
-    avg = {
-        c: sum(table[n][c] for n in HEAVY_WORKLOADS) / len(HEAVY_WORKLOADS)
-        for c in CONFIG_NAMES
-    }
     rows.append(["average"] + [avg[c] for c in CONFIG_NAMES])
     report(
         "fig13_speedup_superpages",
@@ -46,5 +42,5 @@ def test_fig13_speedups_with_superpages(benchmark):
     assert avg["nocstar"] > 1.05
     assert avg["nocstar"] > avg["distributed"] > avg["monolithic-mesh"]
     # The stress workloads reach the paper's 1.2x-class gains.
-    assert max(table[n]["nocstar"] for n in HEAVY_WORKLOADS) > 1.15
+    assert result.summary["speedup_max.nocstar"] > 1.15
     assert avg["nocstar"] / avg["ideal"] >= 0.93

@@ -6,62 +6,40 @@ Paper: monolithic's high access time overwhelms its hit rate and
 worsens with core count; NOCSTAR consistently outperforms everything;
 even monolithic saves ~a third of translation energy, and NOCSTAR saves
 up to ~60% at 64 cores (walk elimination + shorter runtime).
+
+The experiment grid is the shared ``fig14`` campaign spec
+(``repro.experiments.campaigns``); this bench renders the campaign's
+summary metrics in the paper's layout and asserts the qualitative
+shape.
 """
 
 from repro.analysis.tables import render_table
-from repro.energy.model import percent_energy_saved
-from repro.sim import configs as cfg
 
-from _common import HEAVY_WORKLOADS, once, report, run_lineup
+from _common import bench_campaign, once, report
 
-CORE_COUNTS = (16, 32, 64)
 CONFIGS = ("monolithic-mesh", "distributed", "nocstar")
 
 
 def run():
-    speedups = {}
-    energy_saved = {}
-    for cores in CORE_COUNTS:
-        per_config = {c: [] for c in CONFIGS}
-        saved = {c: [] for c in CONFIGS}
-        for name in HEAVY_WORKLOADS:
-            lineup = run_lineup(
-                name,
-                cores,
-                [
-                    cfg.private(cores),
-                    cfg.monolithic(cores),
-                    cfg.distributed(cores),
-                    cfg.nocstar(cores),
-                ],
-            )
-            base_pj = lineup.baseline.total_energy_pj
-            for config in CONFIGS:
-                per_config[config].append(lineup.speedup(config))
-                saved[config].append(
-                    percent_energy_saved(
-                        base_pj, lineup.results[config].total_energy_pj
-                    )
-                )
-        speedups[cores] = {
-            c: (min(v), sum(v) / len(v), max(v))
-            for c, v in per_config.items()
-        }
-        energy_saved[cores] = {
-            c: sum(v) / len(v) for c, v in saved.items()
-        }
-    return speedups, energy_saved
+    return bench_campaign("fig14")
 
 
 def test_fig14_scalability_and_energy(benchmark):
-    speedups, energy_saved = once(benchmark, run)
+    result = once(benchmark, run)
+    core_counts = result.scale.core_counts
+    s = result.summary
     rows = []
-    for cores in CORE_COUNTS:
+    for cores in core_counts:
         for config in CONFIGS:
-            mn, avg, mx = speedups[cores][config]
             rows.append(
-                [f"{cores}-core", config, mn, avg, mx,
-                 energy_saved[cores][config]]
+                [
+                    f"{cores}-core",
+                    config,
+                    s[f"speedup_min.c{cores}.{config}"],
+                    s[f"speedup_avg.c{cores}.{config}"],
+                    s[f"speedup_max.c{cores}.{config}"],
+                    s[f"energy_saved_avg.c{cores}.{config}"],
+                ]
             )
     report(
         "fig14_scalability_energy",
@@ -71,19 +49,19 @@ def test_fig14_scalability_and_energy(benchmark):
         ),
     )
 
-    for cores in CORE_COUNTS:
-        mono_avg = speedups[cores]["monolithic-mesh"][1]
-        dist_avg = speedups[cores]["distributed"][1]
-        noc_avg = speedups[cores]["nocstar"][1]
+    for cores in core_counts:
+        mono_avg = s[f"speedup_avg.c{cores}.monolithic-mesh"]
+        dist_avg = s[f"speedup_avg.c{cores}.distributed"]
+        noc_avg = s[f"speedup_avg.c{cores}.nocstar"]
         assert noc_avg > dist_avg > mono_avg
         assert noc_avg > 1.05
         # Every shared configuration saves translation energy.
         for config in CONFIGS:
-            assert energy_saved[cores][config] > 10.0
+            assert s[f"energy_saved_avg.c{cores}.{config}"] > 10.0
         # NOCSTAR saves the most.
         assert (
-            energy_saved[cores]["nocstar"]
-            >= energy_saved[cores]["monolithic-mesh"]
+            s[f"energy_saved_avg.c{cores}.nocstar"]
+            >= s[f"energy_saved_avg.c{cores}.monolithic-mesh"]
         )
     # NOCSTAR's advantage grows with core count (bigger shared pool).
-    assert speedups[64]["nocstar"][1] >= speedups[16]["nocstar"][1] - 0.02
+    assert s["speedup_avg.c64.nocstar"] >= s["speedup_avg.c16.nocstar"] - 0.02

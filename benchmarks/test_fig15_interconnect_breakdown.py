@@ -7,14 +7,17 @@ Paper: both monolithic variants degrade on average (even SMART can't
 save the big SRAM); distributing the slices helps (~+5%); NOCSTAR does
 better still, runs within a whisker of its own contention-free variant
 (latencies average 1-3 cycles), and lands within 95% of ideal.
+
+The experiment grid is the shared ``fig15`` campaign spec
+(``repro.experiments.campaigns``); this bench renders the campaign's
+speedup + setup-retry tables in the paper's layout and asserts the
+qualitative shape.
 """
 
 from repro.analysis.tables import render_table
-from repro.sim import configs as cfg
 
-from _common import HEAVY_WORKLOADS, once, report, run_lineup
+from _common import bench_campaign, once, report
 
-CORES = 32
 CONFIG_NAMES = (
     "monolithic-mesh",
     "monolithic-smart",
@@ -26,39 +29,24 @@ CONFIG_NAMES = (
 
 
 def run():
-    table = {}
-    retries = {}
-    for name in HEAVY_WORKLOADS:
-        lineup = run_lineup(
-            name,
-            CORES,
-            [
-                cfg.private(CORES),
-                cfg.monolithic(CORES),
-                cfg.monolithic(CORES, noc="smart"),
-                cfg.distributed(CORES),
-                cfg.nocstar(CORES),
-                cfg.nocstar_ideal(CORES),
-                cfg.ideal(CORES),
-            ],
-        )
-        table[name] = lineup.speedups()
-        retries[name] = lineup.results["nocstar"].network[
-            "mean_setup_retries"
-        ]
-    return table, retries
+    return bench_campaign("fig15")
 
 
 def test_fig15_interconnect_breakdown(benchmark):
-    table, retries = once(benchmark, run)
+    result = once(benchmark, run)
+    workloads = result.scale.workloads
+    table = {name: {} for name in workloads}
+    for row in result.tables["speedups"]:
+        table[row["workload"]][row["config"]] = row["speedup"]
+    retries = {
+        row["workload"]: row["mean_setup_retries"]
+        for row in result.tables["setup_retries"]
+    }
+    avg = {c: result.summary[f"speedup_avg.{c}"] for c in CONFIG_NAMES}
     rows = [
         [name] + [table[name][c] for c in CONFIG_NAMES] + [retries[name]]
-        for name in HEAVY_WORKLOADS
+        for name in workloads
     ]
-    avg = {
-        c: sum(table[n][c] for n in HEAVY_WORKLOADS) / len(HEAVY_WORKLOADS)
-        for c in CONFIG_NAMES
-    }
     rows.append(["average"] + [avg[c] for c in CONFIG_NAMES] + [""])
     report(
         "fig15_interconnect_breakdown",
@@ -74,4 +62,4 @@ def test_fig15_interconnect_breakdown(benchmark):
     assert avg["nocstar"] / avg["ideal"] >= 0.95
     # Fig 15's supporting claim: NOCSTAR latencies are 1-3 cycles,
     # i.e. almost no setup retries on real traffic.
-    assert all(r < 1.0 for r in retries.values())
+    assert result.summary["setup_retries.max"] < 1.0

@@ -4,29 +4,34 @@ Paper: bus wins latency/area but not bandwidth/power; mesh wins
 bandwidth but not latency/area/power; FBFly-wide wins latency and
 bandwidth at extreme area/power; SMART wins latency/bandwidth but keeps
 buffered-router area/power; NOCSTAR is good on all four axes.
+
+The numbers come from the shared ``table1`` campaign spec
+(``repro.experiments.campaigns``, an analytic campaign — no
+simulation); this bench renders the campaign's design-choice table and
+asserts the paper's glyph pattern.
 """
 
 from repro.analysis.tables import render_table
-from repro.noc.tradeoffs import evaluate_designs
 
-from _common import once, report
+from _common import bench_campaign, once, report
 
 
 def run():
-    return evaluate_designs(64)
+    return bench_campaign("table1")
 
 
 def test_table1_design_choices(benchmark):
-    rows = once(benchmark, run)
+    result = once(benchmark, run)
+    rows = result.tables["design_choices"]
     table_rows = [
         [
-            row.name,
-            row.glyphs["latency"],
-            row.glyphs["bandwidth"],
-            row.glyphs["area"],
-            row.glyphs["power"],
-            row.latency_cycles,
-            row.bandwidth_transfers,
+            row["noc"],
+            row["latency_glyph"],
+            row["bandwidth_glyph"],
+            row["area_glyph"],
+            row["power_glyph"],
+            row["latency_cycles"],
+            row["bandwidth_transfers"],
         ]
         for row in rows
     ]
@@ -39,7 +44,15 @@ def test_table1_design_choices(benchmark):
             precision=1,
         ),
     )
-    glyphs = {row.name: row.glyphs for row in rows}
+    glyphs = {
+        row["noc"]: {
+            "latency": row["latency_glyph"],
+            "bandwidth": row["bandwidth_glyph"],
+            "area": row["area_glyph"],
+            "power": row["power_glyph"],
+        }
+        for row in rows
+    }
     assert all(g.startswith("yes") for g in glyphs["nocstar"].values())
     assert glyphs["bus"]["bandwidth"].startswith("no")
     assert glyphs["mesh"]["latency"].startswith("no")

@@ -30,6 +30,20 @@ Typical use::
 from __future__ import annotations
 
 from repro.exec.cache import ResultCache, canonical_json, unit_key
+from repro.experiments import (
+    CampaignRun,
+    CampaignSpec,
+    DriftReport,
+    DriftVerdict,
+    Scale,
+    available_campaigns,
+    check_drift,
+    expand_campaigns,
+    get_campaign,
+    register_campaign,
+    run_campaign,
+    update_pins,
+)
 from repro.exec.runner import Runner, execute_unit, unit_cost
 from repro.exec.trace_store import TraceStore, attach_workload
 from repro.faults import (
@@ -114,7 +128,10 @@ from repro.workloads.spec import WorkloadSpec
 #: from) this surface; independent of the engine/telemetry versions.
 #: 1.3.0: span tracing (Tracer/Span/load_spans/write_spans/render_tree)
 #: and Prometheus exposition (render_prometheus).
-VERSION = "1.3.0"
+#: 1.4.0: experiment campaigns (CampaignSpec/Scale/register_campaign/
+#: run_campaign/CampaignRun) and the drift gate (check_drift/
+#: DriftReport/DriftVerdict/update_pins).
+VERSION = "1.4.0"
 
 __all__ = [
     "VERSION",
@@ -194,6 +211,19 @@ __all__ = [
     "run_daemon",
     "ServeClient",
     "ServeError",
+    # experiment campaigns & drift gate
+    "CampaignSpec",
+    "Scale",
+    "register_campaign",
+    "available_campaigns",
+    "get_campaign",
+    "expand_campaigns",
+    "run_campaign",
+    "CampaignRun",
+    "check_drift",
+    "DriftReport",
+    "DriftVerdict",
+    "update_pins",
     # workloads
     "WorkloadSpec",
     "WORKLOADS",

@@ -21,6 +21,13 @@ Commands:
 * ``cache``      — inspect (``stats``), wipe (``clear``), or shrink
   (``evict --max-bytes N`` / ``--max-age-s N``) the content-addressed
   result cache and the materialized trace-artifact store;
+* ``experiments`` — declarative paper-figure campaigns
+  (:mod:`repro.experiments`): ``list`` the registry, ``run`` campaigns
+  into ``campaigns/<name>/`` CSV (+ optional matplotlib plot)
+  artifacts with ``--check`` gating the summary metrics against pinned
+  references, ``check`` previously written artifacts without
+  re-simulating, and ``pin`` to refresh the reference numbers after an
+  intentional model change;
 * ``serve``      — run the persistent asyncio HTTP/JSON daemon
   (:mod:`repro.serve`): scenario submissions, in-flight request
   coalescing, per-client quotas, TTL result retention;
@@ -508,6 +515,118 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_specs(names):
+    """Expand campaign names (metas included) or exit with the registry."""
+    from repro.experiments import available_campaigns, expand_campaigns
+
+    try:
+        return expand_campaigns(names)
+    except KeyError:
+        known = ", ".join(available_campaigns())
+        raise SystemExit(
+            f"unknown campaign in {names!r}; known: {known}"
+        )
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """Paper-figure campaigns: list / run / check / pin."""
+    from repro import experiments as xp
+
+    if args.action == "list":
+        rows = []
+        for name in xp.available_campaigns():
+            spec = xp.get_campaign(name)
+            if spec.kind == xp.META:
+                grids = "-> " + ",".join(spec.members)
+            else:
+                grids = " ".join(
+                    f"{s}:{spec.grid_size(s)}" for s in spec.scale_names
+                )
+            pins = xp.load_pins(name)
+            pinned = ",".join(sorted((pins or {}).get("scales", {}))) or "-"
+            rows.append([name, spec.figure, spec.kind, grids, pinned, spec.title])
+        print(
+            render_table(
+                ["campaign", "figure", "kind", "grid (sims/scale)",
+                 "pinned", "title"],
+                rows,
+            )
+        )
+        return 0
+
+    specs = _campaign_specs(args.campaigns or ["headline"])
+
+    if args.action == "check":
+        # Gate previously written artifacts; nothing is simulated.
+        failed = False
+        for spec in specs:
+            try:
+                payload = xp.read_summary(args.out, spec.name)
+            except OSError:
+                raise SystemExit(
+                    f"no summary for campaign {spec.name!r} under "
+                    f"{args.out!r} — run `repro experiments run "
+                    f"{spec.name}` first"
+                )
+            if payload.get("scale") != args.scale:
+                raise SystemExit(
+                    f"artifacts for {spec.name!r} were written at scale "
+                    f"{payload.get('scale')!r}, not {args.scale!r}; "
+                    "re-run or pass the matching --scale"
+                )
+            report = xp.check_drift(spec.name, args.scale, payload["summary"])
+            print(report.render())
+            print()
+            failed = failed or not report.ok
+        return 1 if failed else 0
+
+    # run / pin both execute the campaigns.
+    tracer = _tracer_from(args)
+    runner = _runner_from(args, tracer)
+    failed = False
+    for spec in specs:
+        run = xp.run_campaign(spec, scale=args.scale, runner=runner,
+                              tracer=tracer)
+        print(
+            f"[experiments] {spec.name} [{args.scale}]: "
+            f"{run.stats['scenarios']} scenario(s), "
+            f"{run.stats['units']} unit(s) "
+            f"({run.stats['cache_hits']} cached)",
+            file=sys.stderr,
+        )
+        if args.action == "pin":
+            path = xp.update_pins(
+                spec.name, args.scale, run.summary, rtol=args.rtol
+            )
+            print(f"[experiments] pinned {len(run.summary)} metric(s) "
+                  f"of {spec.name} [{args.scale}] in {path}",
+                  file=sys.stderr)
+            continue
+        written = run.write(args.out, plot=not args.no_plot)
+        rows = [[metric, run.summary[metric]] for metric in sorted(run.summary)]
+        print(
+            render_table(
+                ["metric", "value"],
+                rows,
+                title=f"== {spec.figure} — {spec.title} ==",
+            )
+        )
+        print(f"[experiments] wrote {len(written)} artifact(s) under "
+              f"{os.path.join(args.out, spec.name)}", file=sys.stderr)
+        if args.check:
+            report = xp.check_drift(spec.name, args.scale, run.summary)
+            print(report.render())
+            failed = failed or not report.ok
+        print()
+    _export_spans(args, tracer)
+    _report_cache(runner)
+    if failed:
+        print("[experiments] drift gate FAILED — see reports above",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the persistent HTTP/JSON simulation daemon."""
     from repro.serve.daemon import run_daemon
@@ -968,6 +1087,55 @@ def build_parser() -> argparse.ArgumentParser:
              "(the serving tier's TTL rule, applied by hand)",
     )
     cache_p.set_defaults(func=cmd_cache)
+
+    exp_p = sub.add_parser(
+        "experiments",
+        help="declarative paper-figure campaigns (list/run/check/pin)",
+        parents=[runner],
+    )
+    exp_p.add_argument(
+        "action", choices=("list", "run", "check", "pin"),
+        help="list: show the campaign registry; run: execute campaigns "
+             "and write campaigns/<name>/ artifacts; check: drift-gate "
+             "previously written artifacts without re-simulating; pin: "
+             "re-run and refresh the pinned reference numbers",
+    )
+    exp_p.add_argument(
+        "campaigns", nargs="*",
+        help="campaign names (metas like 'headline' expand; default: "
+             "headline)",
+    )
+    exp_p.add_argument(
+        "--scale", choices=("smoke", "reduced", "full"), default="reduced",
+        help="operating point: smoke (CI-fast), reduced (bench scale, "
+             "the pinned default), full (paper scale)",
+    )
+    exp_p.add_argument(
+        "--out", default="campaigns",
+        help="artifact root; CSV/JSON (and plots when matplotlib is "
+             "installed) land under <out>/<campaign>/ (default "
+             "'campaigns')",
+    )
+    exp_p.add_argument(
+        "--check", action="store_true",
+        help="after running, gate summary metrics against the pinned "
+             "references; exit non-zero on drift",
+    )
+    exp_p.add_argument(
+        "--no-plot", action="store_true",
+        help="skip plot rendering even when matplotlib is available",
+    )
+    exp_p.add_argument(
+        "--rtol", type=float, default=0.05,
+        help="relative tolerance written for newly pinned metrics "
+             "(pin action only; existing tolerances are kept; "
+             "default 0.05)",
+    )
+    exp_p.add_argument(
+        "--span-out", default="",
+        help="write a span-tree JSONL sidecar for `repro trace`",
+    )
+    exp_p.set_defaults(func=cmd_experiments)
 
     serve_p = sub.add_parser(
         "serve", help="run the persistent HTTP/JSON simulation daemon",

@@ -1,0 +1,90 @@
+"""``repro.experiments`` — declarative paper-figure campaign runner.
+
+The subsystem has four layers (see DESIGN.md, "Experiment campaigns"):
+
+* :mod:`repro.experiments.spec` — frozen :class:`CampaignSpec`/
+  :class:`Scale` values describing a figure's experiment grid
+  (``itertools.product`` over core counts x seeds x workloads, times a
+  configuration lineup) at smoke/reduced/full scales;
+* :mod:`repro.experiments.registry` — ``@register_campaign`` and the
+  shipped specs (:mod:`repro.experiments.campaigns`): fig2, fig12,
+  fig13, fig14, fig15, table1, and the ``headline`` meta-campaign;
+* :mod:`repro.experiments.executor` — :func:`run_campaign` fans the
+  grid through the existing Runner/TraceStore/ResultCache stack
+  (warm-cache cheap, byte-deterministic across jobs) and reduces raw
+  results via :mod:`repro.experiments.analytics` into tidy CSV tables
+  and headline summary metrics under ``campaigns/<name>/``;
+* :mod:`repro.experiments.drift` — per-campaign pinned reference
+  numbers with relative tolerances; :func:`check_drift` turns a
+  summary into a green/red/warn report (the ``--check`` gate).
+
+CLI: ``repro experiments list | run | check | pin``.
+"""
+
+from repro.experiments.analytics import (
+    ARTIFACT_SCHEMA,
+    read_summary,
+    reduce_campaign,
+    register_reducer,
+    write_artifacts,
+    write_table_csv,
+)
+from repro.experiments.drift import (
+    DEFAULT_RTOL,
+    PIN_SCHEMA,
+    DriftReport,
+    DriftVerdict,
+    check_drift,
+    load_pins,
+    pin_path,
+    update_pins,
+)
+from repro.experiments.executor import CampaignRun, run_campaign
+from repro.experiments.registry import (
+    available_campaigns,
+    expand_campaigns,
+    get_campaign,
+    register_campaign,
+)
+from repro.experiments.spec import (
+    ANALYTIC,
+    GRID,
+    META,
+    STANDARD_SCALES,
+    CampaignSpec,
+    GridPoint,
+    Scale,
+)
+
+__all__ = [
+    # specs & registry
+    "CampaignSpec",
+    "Scale",
+    "GridPoint",
+    "GRID",
+    "ANALYTIC",
+    "META",
+    "STANDARD_SCALES",
+    "register_campaign",
+    "available_campaigns",
+    "get_campaign",
+    "expand_campaigns",
+    # execution & analytics
+    "CampaignRun",
+    "run_campaign",
+    "register_reducer",
+    "reduce_campaign",
+    "write_artifacts",
+    "write_table_csv",
+    "read_summary",
+    "ARTIFACT_SCHEMA",
+    # drift gate
+    "DriftReport",
+    "DriftVerdict",
+    "check_drift",
+    "update_pins",
+    "load_pins",
+    "pin_path",
+    "DEFAULT_RTOL",
+    "PIN_SCHEMA",
+]

@@ -1,0 +1,131 @@
+"""The shipped campaign specs — the paper's headline claims, as data.
+
+One :class:`~repro.experiments.spec.CampaignSpec` per headline figure/
+table, plus the ``headline`` meta-campaign that rolls the five
+load-bearing ones into a single ``repro experiments run headline``.
+
+The ``reduced`` scales reproduce the bench suite's reduced operating
+point exactly (5 representative workloads, 5,000 accesses/core, seed
+11) — which is the scale EXPERIMENTS.md's measured numbers, and
+therefore the drift-gate pins, were taken at.  ``full`` is paper scale
+(all 11 workloads, 12,000 accesses/core); ``smoke`` is the minutes-fast
+CI operating point.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import register_campaign
+from repro.experiments.spec import ANALYTIC, META, CampaignSpec, Scale
+from repro.workloads.registry import WORKLOAD_NAMES
+
+#: The bench suite's reduced roster (benchmarks/_common.HEAVY_WORKLOADS).
+REDUCED_WORKLOADS = ("graph500", "canneal", "xsbench", "olio", "gups")
+#: The CI smoke roster: the three most divergent locality profiles.
+SMOKE_WORKLOADS = ("graph500", "gups", "olio")
+
+REDUCED_ACCESSES = 5_000
+FULL_ACCESSES = 12_000
+SMOKE_ACCESSES = 1_200
+
+#: The bench suite's seed (benchmarks/_common.SEED).
+SEED = 11
+
+
+def _scales(smoke_cores, reduced_cores, full_cores=None):
+    """The standard smoke/reduced/full ladder over one core-count axis."""
+    return (
+        ("smoke", Scale(SMOKE_ACCESSES, SMOKE_WORKLOADS, smoke_cores)),
+        ("reduced", Scale(REDUCED_ACCESSES, REDUCED_WORKLOADS, reduced_cores)),
+        ("full", Scale(FULL_ACCESSES, tuple(WORKLOAD_NAMES),
+                       full_cores or reduced_cores)),
+    )
+
+
+register_campaign(
+    CampaignSpec(
+        name="fig2",
+        title="Private L2 TLB misses eliminated by a shared TLB",
+        figure="Fig 2",
+        config_names=("private", "distributed"),
+        scales=_scales(smoke_cores=(8, 16), reduced_cores=(16, 32, 64)),
+        seed=SEED,
+    )
+)
+
+register_campaign(
+    CampaignSpec(
+        name="fig12",
+        title="16-core speedups over private L2 TLBs, 4KB pages only",
+        figure="Fig 12",
+        config_names=("private", "monolithic", "distributed", "nocstar",
+                      "ideal"),
+        superpages=False,
+        scales=_scales(smoke_cores=(16,), reduced_cores=(16,)),
+        seed=SEED,
+        reducer="speedup",
+    )
+)
+
+register_campaign(
+    CampaignSpec(
+        name="fig13",
+        title="16-core speedups with transparent 2MB superpages",
+        figure="Fig 13",
+        config_names=("private", "monolithic", "distributed", "nocstar",
+                      "ideal"),
+        superpages=True,
+        scales=_scales(smoke_cores=(16,), reduced_cores=(16,)),
+        seed=SEED,
+        reducer="speedup",
+    )
+)
+
+register_campaign(
+    CampaignSpec(
+        name="fig14",
+        title="Scalability (16-64 cores) and translation energy saved",
+        figure="Fig 14",
+        config_names=("private", "monolithic", "distributed", "nocstar"),
+        scales=_scales(smoke_cores=(8, 16), reduced_cores=(16, 32, 64)),
+        seed=SEED,
+    )
+)
+
+register_campaign(
+    CampaignSpec(
+        name="fig15",
+        title="Distribution vs interconnect breakdown at 32 cores",
+        figure="Fig 15",
+        config_names=("private", "monolithic", "monolithic-smart",
+                      "distributed", "nocstar", "nocstar-ideal", "ideal"),
+        scales=_scales(smoke_cores=(16,), reduced_cores=(32,)),
+        seed=SEED,
+    )
+)
+
+register_campaign(
+    CampaignSpec(
+        name="table1",
+        title="TLB interconnect design choices, quantified",
+        figure="Table I",
+        kind=ANALYTIC,
+        # core_counts doubles as the tile count for the analytic model;
+        # Table I is evaluated on the paper's 64-tile system at every
+        # scale (the model is closed-form, so there is nothing to cut).
+        scales=(
+            ("smoke", Scale(0, (), (64,))),
+            ("reduced", Scale(0, (), (64,))),
+            ("full", Scale(0, (), (64,))),
+        ),
+    )
+)
+
+register_campaign(
+    CampaignSpec(
+        name="headline",
+        title="The paper's five headline artifacts",
+        figure="Figs 2/12/14/15 + Table I",
+        kind=META,
+        members=("fig2", "fig12", "fig14", "fig15", "table1"),
+    )
+)

@@ -1,0 +1,102 @@
+"""Campaign registry — one namespace for every paper-figure campaign.
+
+Mirrors the configuration registry (:func:`repro.sim.configs.
+register_config`): campaigns register under unique names, duplicates
+raise, and everything downstream (CLI, benches, drift gate) builds
+from the same registered specs so no figure can grow a private copy of
+its grid.
+
+``register_campaign`` works both as a plain call on a spec and as a
+decorator on a zero-argument factory::
+
+    register_campaign(CampaignSpec(name="fig2", ...))
+
+    @register_campaign
+    def fig12() -> CampaignSpec:
+        return CampaignSpec(name="fig12", ...)
+
+Meta campaigns (``kind="meta"``) name member campaigns;
+:func:`expand_campaigns` resolves them (one level deep, order
+preserving, deduplicating) into concrete runnable specs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple, Union
+
+from repro.experiments.spec import META, CampaignSpec
+
+_REGISTRY: Dict[str, CampaignSpec] = {}
+
+SpecOrFactory = Union[CampaignSpec, Callable[[], CampaignSpec]]
+
+
+def register_campaign(spec_or_factory: SpecOrFactory):
+    """Register a campaign spec (or a factory producing one).
+
+    Returns its argument unchanged so the decorator form leaves the
+    factory importable and the plain form can be used inline.  Names
+    must be unique — duplicates raise ``ValueError`` so two modules
+    cannot silently fight over one figure.
+    """
+    spec = (
+        spec_or_factory
+        if isinstance(spec_or_factory, CampaignSpec)
+        else spec_or_factory()
+    )
+    if not isinstance(spec, CampaignSpec):
+        raise TypeError(
+            f"register_campaign needs a CampaignSpec (got {type(spec)!r})"
+        )
+    if spec.name in _REGISTRY:
+        raise ValueError(f"campaign {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec_or_factory
+
+
+def available_campaigns() -> Tuple[str, ...]:
+    """Every registered campaign name, sorted."""
+    _ensure_loaded()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_campaign(name: str) -> CampaignSpec:
+    """Look a campaign up by name (``KeyError`` lists the registry)."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown campaign {name!r}; known: {known}"
+        ) from None
+
+
+def expand_campaigns(names: Sequence[str]) -> List[CampaignSpec]:
+    """Resolve names (including metas) into concrete specs.
+
+    Meta members are expanded one level deep in declaration order;
+    duplicates keep their first position.  A meta member that is itself
+    a meta raises — roll-ups of roll-ups hide what actually runs.
+    """
+    out: List[CampaignSpec] = []
+    seen = set()
+    for name in names:
+        spec = get_campaign(name)
+        members = spec.members if spec.kind == META else (spec.name,)
+        for member in members:
+            member_spec = get_campaign(member)
+            if member_spec.kind == META:
+                raise ValueError(
+                    f"meta campaign {spec.name!r} may not nest the meta "
+                    f"campaign {member!r}"
+                )
+            if member_spec.name not in seen:
+                seen.add(member_spec.name)
+                out.append(member_spec)
+    return out
+
+
+def _ensure_loaded() -> None:
+    """Import the shipped campaign definitions exactly once."""
+    from repro.experiments import campaigns  # noqa: F401  (registration)

@@ -1,0 +1,250 @@
+"""Declarative campaign specs — one frozen value per paper figure.
+
+A :class:`CampaignSpec` describes everything needed to regenerate one
+figure or table of the paper as pure data: the configuration lineup
+(registry names), the workload roster, the core counts, the seeds, and
+the per-scale trace lengths.  The experiment grid is the
+``itertools.product`` of those axes (the classic campaign-runner
+pattern: enumerate ``sizes x configurations x periods x repeats``
+up front, then fan the points out through an executor), so grid size,
+seed derivation, and scenario expansion are all computable without
+running anything.
+
+Three standard scales ship with every simulation campaign:
+
+* ``smoke``   — minutes-fast CI gate (few workloads, short traces,
+  small meshes);
+* ``reduced`` — the default; matches the bench suite's reduced scale,
+  which is what EXPERIMENTS.md's measured numbers (and the drift-gate
+  pins) were taken at;
+* ``full``    — paper scale (all workloads, long traces).
+
+Determinism contract: a spec expands to :class:`~repro.sim.scenario.
+Scenario` values only — execution inherits the Runner/TraceStore/
+ResultCache guarantees, so a campaign's results (and therefore its CSV
+artifacts) are byte-identical across ``jobs=1``/``jobs=N`` and
+warm-cache replay.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.faults.models import derive_seed
+from repro.sim import configs as cfg
+from repro.sim.scenario import Scenario
+
+#: The scale names every simulation campaign is expected to ship.
+STANDARD_SCALES = ("smoke", "reduced", "full")
+
+#: Campaign kinds: ``grid`` fans scenarios through the Runner,
+#: ``analytic`` computes its table without simulating (Table I), and
+#: ``meta`` names a list of member campaigns (the ``headline`` roll-up).
+GRID = "grid"
+ANALYTIC = "analytic"
+META = "meta"
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One named operating point of a campaign's grid.
+
+    ``core_counts`` doubles as the tile count for analytic campaigns;
+    ``workloads``/``accesses_per_core`` are unused (and may be empty/0)
+    when nothing is simulated.
+    """
+
+    accesses_per_core: int
+    workloads: Tuple[str, ...]
+    core_counts: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        object.__setattr__(self, "core_counts", tuple(self.core_counts))
+        if not self.core_counts:
+            raise ValueError("a scale needs at least one core count")
+        if any(c < 1 for c in self.core_counts):
+            raise ValueError("core counts must be positive")
+        if self.accesses_per_core < 0:
+            raise ValueError("accesses_per_core must be >= 0")
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One cell of the campaign grid: a (cores, seed, workload) triple.
+
+    Configurations are *not* an axis of the point — every point runs
+    the spec's whole lineup so speedups-vs-baseline stay well defined.
+    """
+
+    cores: int
+    seed: int
+    workload: str
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Frozen description of one paper-figure campaign.
+
+    ``config_names`` are configuration *registry* names
+    (:func:`repro.sim.configs.build_config`); the built lineup may
+    carry different display names (``monolithic`` builds
+    ``monolithic-mesh``).  ``seed`` is the base seed; ``replicas > 1``
+    derives further independent seeds with
+    :func:`repro.faults.models.derive_seed` so replicated grids never
+    share a random stream with the base run.
+    """
+
+    name: str
+    title: str
+    figure: str
+    kind: str = GRID
+    config_names: Tuple[str, ...] = ()
+    baseline: str = "private"
+    superpages: bool = True
+    seed: int = 11
+    replicas: int = 1
+    scales: Tuple[Tuple[str, Scale], ...] = ()
+    #: Analytics reducer name (defaults to the campaign name).
+    reducer: str = ""
+    #: Member campaigns (meta campaigns only).
+    members: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "config_names", tuple(self.config_names))
+        object.__setattr__(self, "scales", tuple(self.scales))
+        object.__setattr__(self, "members", tuple(self.members))
+        if not self.name:
+            raise ValueError("a campaign needs a name")
+        if self.kind not in (GRID, ANALYTIC, META):
+            raise ValueError(f"unknown campaign kind: {self.kind!r}")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.kind == META:
+            if not self.members:
+                raise ValueError("a meta campaign needs members")
+            return
+        if not self.scales:
+            raise ValueError(f"campaign {self.name!r} needs scales")
+        names = [name for name, _ in self.scales]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate scale names in {self.name!r}")
+        if self.kind == GRID:
+            if not self.config_names:
+                raise ValueError(
+                    f"grid campaign {self.name!r} needs config_names"
+                )
+            if self.baseline not in self.config_names:
+                raise ValueError(
+                    f"baseline {self.baseline!r} missing from the "
+                    f"{self.name!r} lineup"
+                )
+            for scale_name, scale in self.scales:
+                if not scale.workloads or scale.accesses_per_core <= 0:
+                    raise ValueError(
+                        f"grid scale {scale_name!r} of {self.name!r} "
+                        "needs workloads and a positive trace length"
+                    )
+
+    # ------------------------------------------------------------------
+    # axes
+
+    @property
+    def scale_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.scales)
+
+    def scale(self, name: str) -> Scale:
+        for scale_name, scale in self.scales:
+            if scale_name == name:
+                return scale
+        raise KeyError(
+            f"campaign {self.name!r} has no scale {name!r}; "
+            f"known: {', '.join(self.scale_names)}"
+        )
+
+    def seeds(self) -> Tuple[int, ...]:
+        """The seed axis: the base seed plus derived replica seeds.
+
+        ``seeds()[0] == seed`` always, so single-replica campaigns
+        reproduce the bench suite's numbers exactly; extra replicas get
+        label-split sub-seeds that cannot collide with the base stream.
+        """
+        derived = tuple(
+            derive_seed(self.seed, f"{self.name}:rep{i}")
+            for i in range(1, self.replicas)
+        )
+        return (self.seed,) + derived
+
+    # ------------------------------------------------------------------
+    # grid expansion
+
+    def grid(self, scale_name: str) -> Tuple[GridPoint, ...]:
+        """The full product grid: core_counts x seeds x workloads."""
+        scale = self.scale(scale_name)
+        return tuple(
+            GridPoint(cores=cores, seed=seed, workload=workload)
+            for cores, seed, workload in itertools.product(
+                scale.core_counts, self.seeds(), scale.workloads
+            )
+        )
+
+    def grid_size(self, scale_name: str) -> int:
+        """Total simulations the grid expands to (points x lineup)."""
+        if self.kind != GRID:
+            return 0
+        return len(self.grid(scale_name)) * len(self.config_names)
+
+    def lineup(self, cores: int) -> List[cfg.SystemConfig]:
+        """The built configuration lineup at one core count."""
+        return [cfg.build_config(name, cores) for name in self.config_names]
+
+    def scenarios(self, scale_name: str) -> List[Scenario]:
+        """One Scenario per (core count, seed) — workload-major fan-out.
+
+        Grouping the whole roster into one Scenario per lineup lets the
+        Runner dedupe workload builds across the lineup and schedule
+        the grid longest-first; the decomposition into cache-keyed
+        RunUnits is the Scenario's own.
+        """
+        if self.kind != GRID:
+            return []
+        scale = self.scale(scale_name)
+        scenarios = []
+        for cores in scale.core_counts:
+            lineup = self.lineup(cores)
+            built_names = [config.name for config in lineup]
+            if self.baseline not in built_names:
+                raise ValueError(
+                    f"baseline {self.baseline!r} not among built configs "
+                    f"{built_names} of campaign {self.name!r}"
+                )
+            for seed in self.seeds():
+                scenarios.append(
+                    Scenario(
+                        configurations=tuple(lineup),
+                        workloads=scale.workloads,
+                        accesses_per_core=scale.accesses_per_core,
+                        seed=seed,
+                        superpages=self.superpages,
+                        baseline_name=self.baseline,
+                    )
+                )
+        return scenarios
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly summary (the ``experiments list`` row)."""
+        out: Dict[str, object] = {
+            "name": self.name,
+            "figure": self.figure,
+            "title": self.title,
+            "kind": self.kind,
+        }
+        if self.kind == META:
+            out["members"] = list(self.members)
+        else:
+            out["scales"] = {
+                name: self.grid_size(name) for name in self.scale_names
+            }
+        return out

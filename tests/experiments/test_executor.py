@@ -1,0 +1,134 @@
+"""Executor + analytics: determinism, caching, artifacts, telemetry."""
+
+import os
+import warnings
+
+import pytest
+
+from repro.exec.runner import Runner
+from repro.experiments import (
+    CampaignSpec,
+    Scale,
+    run_campaign,
+    write_table_csv,
+)
+from repro.experiments import analytics
+from repro.obs import MetricsRegistry, Tracer
+
+#: A deliberately tiny grid (2 cores x 2 workloads x 2 configs at 300
+#: accesses) so the determinism matrix stays test-suite fast.
+TINY = CampaignSpec(
+    name="tiny-exec",
+    title="tiny executor campaign",
+    figure="Fig T",
+    config_names=("private", "distributed"),
+    reducer="fig2",
+    scales=(("smoke", Scale(300, ("olio", "gups"), (2, 4))),),
+    seed=5,
+)
+
+
+def read_artifacts(directory):
+    out = {}
+    for name in sorted(os.listdir(directory)):
+        if name.endswith((".csv", ".json")):
+            with open(os.path.join(directory, name), "rb") as fh:
+                out[name] = fh.read()
+    return out
+
+
+def test_run_produces_tables_and_summary():
+    run = run_campaign(TINY, scale="smoke")
+    assert run.stats["scenarios"] == 2
+    assert run.stats["units"] == 2 * 2 * 2  # cores x workloads x configs
+    assert len(run.comparisons) == 4
+    rows = run.tables["miss_elimination"]
+    assert len(rows) == 4
+    assert {row["cores"] for row in rows} == {2, 4}
+    assert set(run.summary) == {"elim_avg.c2", "elim_avg.c4", "elim_min"}
+
+
+def test_meta_campaign_refuses_to_run():
+    with pytest.raises(ValueError, match="expand"):
+        run_campaign("headline", scale="smoke")
+
+
+def test_artifacts_byte_identical_across_jobs(tmp_path):
+    serial = run_campaign(TINY, scale="smoke",
+                          runner=Runner(jobs=1, cache_dir=None))
+    fanned = run_campaign(TINY, scale="smoke",
+                          runner=Runner(jobs=4, cache_dir=None))
+    serial.write(str(tmp_path / "serial"), plot=False)
+    fanned.write(str(tmp_path / "fanned"), plot=False)
+    a = read_artifacts(str(tmp_path / "serial" / TINY.name))
+    b = read_artifacts(str(tmp_path / "fanned" / TINY.name))
+    assert set(a) == {"miss_elimination.csv", "summary.json"}
+    assert a == b
+
+
+def test_artifacts_byte_identical_on_warm_cache(tmp_path):
+    cache = str(tmp_path / "cache")
+    cold = run_campaign(TINY, scale="smoke",
+                        runner=Runner(jobs=1, cache_dir=cache))
+    warm = run_campaign(TINY, scale="smoke",
+                        runner=Runner(jobs=1, cache_dir=cache))
+    assert cold.stats["cache_misses"] > 0
+    assert warm.stats["cache_hits"] == cold.stats["units"]
+    assert warm.stats["cache_misses"] == 0
+    cold.write(str(tmp_path / "cold"), plot=False)
+    warm.write(str(tmp_path / "warm"), plot=False)
+    assert read_artifacts(str(tmp_path / "cold" / TINY.name)) == read_artifacts(
+        str(tmp_path / "warm" / TINY.name)
+    )
+
+
+def test_telemetry_spans_and_counters():
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    run_campaign(TINY, scale="smoke", tracer=tracer, metrics=metrics)
+    kinds = [record["name"] for record in tracer.records]
+    assert "campaign.run" in kinds
+    assert kinds.count("campaign.scenario") == 2
+    assert metrics.counter("experiments.tiny-exec.scenarios").value == 2
+    assert metrics.counter("experiments.tiny-exec.units").value == 8
+
+
+def test_summary_json_payload(tmp_path):
+    run = run_campaign(TINY, scale="smoke")
+    run.write(str(tmp_path), plot=False)
+    from repro.experiments import read_summary
+
+    payload = read_summary(str(tmp_path), TINY.name)
+    assert payload["schema"] == analytics.ARTIFACT_SCHEMA
+    assert payload["campaign"] == "tiny-exec"
+    assert payload["scale"] == "smoke"
+    assert payload["grid_size"] == 8
+    assert payload["summary"] == run.summary
+
+
+def test_csv_writer_rejects_bad_tables(tmp_path):
+    with pytest.raises(ValueError, match="empty"):
+        write_table_csv(str(tmp_path / "x.csv"), [])
+    with pytest.raises(ValueError, match="ragged"):
+        write_table_csv(
+            str(tmp_path / "y.csv"), [{"a": 1}, {"b": 2}]
+        )
+
+
+def test_plot_degrades_to_csv_only_without_matplotlib(tmp_path, monkeypatch):
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        pass
+    else:
+        pytest.skip("matplotlib installed; degradation path not reachable")
+    run = run_campaign(TINY, scale="smoke")
+    monkeypatch.setattr(analytics, "_PLOT_WARNED", False)
+    with pytest.warns(UserWarning, match="repro\\[plot\\]"):
+        written = run.write(str(tmp_path / "one"), plot=True)
+    assert not any(path.endswith(".png") for path in written)
+    assert any(path.endswith("summary.json") for path in written)
+    # the warning fires once per process, not once per campaign
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        run.write(str(tmp_path / "two"), plot=True)

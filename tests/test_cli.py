@@ -407,3 +407,48 @@ def test_cache_evict_max_age(tmp_path, capsys):
     assert "evicted 2 result(s)" in capsys.readouterr().out
     with pytest.raises(SystemExit, match="max-bytes and/or --max-age-s"):
         main(["cache", "evict", "--cache-dir", cache_dir])
+
+
+def test_experiments_list(capsys):
+    assert main(["experiments", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig12" in out and "headline" in out
+    assert "meta" in out and "analytic" in out
+
+
+def test_experiments_unknown_campaign():
+    with pytest.raises(SystemExit, match="unknown campaign"):
+        main(["experiments", "run", "fig99"])
+
+
+def test_experiments_run_and_check_round_trip(tmp_path, capsys):
+    out_dir = str(tmp_path / "campaigns")
+    # table1 is analytic (no simulation), so this stays unit-test fast.
+    assert main(
+        ["experiments", "run", "table1", "--scale", "smoke",
+         "--out", out_dir, "--no-plot", "--check", "--no-cache"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "latency_cycles.nocstar" in out
+    assert "drift gate: table1" in out
+    import os as _os
+
+    assert _os.path.exists(_os.path.join(out_dir, "table1", "summary.json"))
+    assert _os.path.exists(
+        _os.path.join(out_dir, "table1", "design_choices.csv")
+    )
+    # `check` re-gates the written artifacts without re-running.
+    assert main(
+        ["experiments", "check", "table1", "--scale", "smoke",
+         "--out", out_dir]
+    ) == 0
+    # ...but refuses a scale mismatch instead of mis-gating.
+    with pytest.raises(SystemExit, match="scale"):
+        main(["experiments", "check", "table1", "--scale", "reduced",
+              "--out", out_dir])
+
+
+def test_experiments_check_needs_artifacts(tmp_path):
+    with pytest.raises(SystemExit, match="no summary"):
+        main(["experiments", "check", "table1", "--scale", "smoke",
+              "--out", str(tmp_path / "empty")])
