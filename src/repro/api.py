@@ -117,6 +117,16 @@ from repro.serve import (
     run_daemon,
 )
 from repro.sim.scenario import RunUnit, Scenario
+from repro.tlb.opt import (
+    PolicyEval,
+    offline_policy_eval,
+    pct_of_opt,
+)
+from repro.tlb.policies import (
+    POLICY_NAMES,
+    ReplacementPolicy,
+    make_policy,
+)
 from repro.workloads.generators import (
     build_multiprogrammed,
     build_multithreaded,
@@ -131,7 +141,10 @@ from repro.workloads.spec import WorkloadSpec
 #: 1.4.0: experiment campaigns (CampaignSpec/Scale/register_campaign/
 #: run_campaign/CampaignRun) and the drift gate (check_drift/
 #: DriftReport/DriftVerdict/update_pins).
-VERSION = "1.4.0"
+#: 1.5.0: the replacement-policy zoo (POLICY_NAMES/make_policy/
+#: ReplacementPolicy, SystemConfig.policy/.arbitration) and the offline
+#: Belady bound (offline_policy_eval/pct_of_opt/PolicyEval).
+VERSION = "1.5.0"
 
 __all__ = [
     "VERSION",
@@ -168,6 +181,13 @@ __all__ = [
     "nocstar",
     "nocstar_ideal",
     "ideal",
+    # replacement policies & the offline Belady bound
+    "POLICY_NAMES",
+    "ReplacementPolicy",
+    "make_policy",
+    "PolicyEval",
+    "offline_policy_eval",
+    "pct_of_opt",
     # pathological traffic
     "StormConfig",
     "ShootdownTraffic",

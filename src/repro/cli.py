@@ -89,15 +89,24 @@ from repro.workloads.registry import WORKLOAD_NAMES, WORKLOADS, get_workload
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
 
 
-def _build_configs(names: Sequence[str], cores: int) -> List[cfg.SystemConfig]:
+def _build_configs(
+    names: Sequence[str], cores: int, policy: Optional[str] = None
+) -> List[cfg.SystemConfig]:
+    overrides = {} if policy is None else {"policy": policy}
     configs = []
     for name in names:
         try:
-            configs.append(cfg.build_config(name, cores))
+            configs.append(cfg.build_config(name, cores, **overrides))
         except KeyError:
             known = ", ".join(cfg.available_configs())
             raise SystemExit(f"unknown config {name!r}; known: {known}")
     return configs
+
+
+def _policy_overrides(args: argparse.Namespace) -> dict:
+    """Lineup-wide overrides implied by ``--policy`` (empty = default)."""
+    policy = getattr(args, "policy", None)
+    return {} if policy is None else {"policy": policy}
 
 
 def _trace_store_from(args: argparse.Namespace) -> Optional[str]:
@@ -261,12 +270,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         if workload.num_cores != args.cores:
             args.cores = workload.num_cores
         lineup = runner.run_prebuilt(
-            workload, _build_configs(names, args.cores),
+            workload, _build_configs(names, args.cores, args.policy),
             metrics=metrics, trace=trace,
         )
     else:
         scenario = Scenario(
-            configurations=_build_configs(names, args.cores),
+            configurations=_build_configs(names, args.cores, args.policy),
             workloads=args.workload,
             accesses_per_core=args.accesses,
             seed=args.seed,
@@ -293,7 +302,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     metrics, trace = _obs_flags(args)
     comparisons = runner.run(
         Scenario(
-            configurations=cfg.paper_lineup(args.cores),
+            configurations=cfg.paper_lineup(
+                args.cores, **_policy_overrides(args)
+            ),
             workloads=tuple(names),
             accesses_per_core=args.accesses,
             seed=args.seed,
@@ -361,7 +372,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         raise SystemExit("fault rates must be in [0, 1]")
     if rates[0] != 0.0:
         rates.insert(0, 0.0)  # the fault-free anchor of the curve
-    config = _build_configs([args.config], args.cores)[0]
+    config = _build_configs([args.config], args.cores, args.policy)[0]
     tracer = _tracer_from(args)
     runner = _runner_from(args, tracer)
     metrics, trace = _obs_flags(args)
@@ -957,6 +968,19 @@ def _runner_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _policy_parent() -> argparse.ArgumentParser:
+    """The replacement-policy flag group (--policy)."""
+    from repro.tlb.policies import POLICY_NAMES
+
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--policy", choices=POLICY_NAMES, default=None,
+        help="override the L2 replacement policy of every configuration "
+             "(default: each configuration's own, normally lru)",
+    )
+    return parent
+
+
 def _scenario_parent(accesses: int = 8_000) -> argparse.ArgumentParser:
     """The scenario-shape flag group (--cores/--accesses/--seed/...).
 
@@ -992,10 +1016,11 @@ def build_parser() -> argparse.ArgumentParser:
     runner = _runner_parent()
     fault = _fault_parent()
     obs = _obs_parent()
+    policy = _policy_parent()
 
     run_p = sub.add_parser(
         "run", help="simulate one workload",
-        parents=[scenario, fault, runner, obs],
+        parents=[scenario, policy, fault, runner, obs],
     )
     run_p.add_argument("--workload", default="graph500")
     run_p.add_argument(
@@ -1022,7 +1047,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep_p = sub.add_parser(
         "sweep", help="per-workload speedup sweep",
-        parents=[scenario_sweep, fault, runner, obs],
+        parents=[scenario_sweep, policy, fault, runner, obs],
     )
     sweep_p.add_argument("--workloads", default="",
                          help="comma-separated subset (default: all)")
@@ -1030,7 +1055,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     faults_p = sub.add_parser(
         "faults", help="fault-injection degradation sweep",
-        parents=[scenario_sweep, runner, obs],
+        parents=[scenario_sweep, policy, runner, obs],
     )
     faults_p.add_argument("--workload", default="graph500")
     faults_p.add_argument(

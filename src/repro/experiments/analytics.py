@@ -33,6 +33,9 @@ from repro.noc.tradeoffs import evaluate_designs
 from repro.sim.run import Comparison
 
 from repro.experiments.spec import CampaignSpec, Scale
+from repro.tlb.opt import OPT, offline_policy_eval, pct_of_opt, structure_for
+from repro.workloads.generators import build_multithreaded
+from repro.workloads.registry import get_workload
 
 #: Raw results keyed by grid coordinates: (cores, seed, workload).
 Comparisons = Dict[Tuple[int, int, str], Comparison]
@@ -201,6 +204,77 @@ def _reduce_fig15(spec, scale_name, scale, comparisons):
         summary["speedup_avg.nocstar"] / summary["speedup_avg.ideal"]
     )
     return {"speedups": rows, "setup_retries": retry_rows}, summary
+
+
+@register_reducer("policy_zoo")
+def _reduce_policy_zoo(spec, scale_name, scale, comparisons):
+    """Policy zoo: speedup + %-of-OPT per config x workload.
+
+    Rebuilds each grid point's workload (same generator inputs the
+    executor used, so the trace is identical) and replays it offline
+    through :mod:`repro.tlb.opt` against each configuration's L2
+    geometry.  One offline evaluation covers every policy plus the
+    Belady bound, and is memoised per (grid point, geometry): lineup
+    members sharing a geometry — e.g. every ``distributed-*`` policy
+    variant — pay for it once.
+    """
+    rows = []
+    speed: Dict[str, List[float]] = {}
+    pct: Dict[str, List[float]] = {}
+    workload_cache: Dict[Tuple[int, int, str], object] = {}
+    eval_cache: Dict[Tuple[int, int, str, Tuple], Dict] = {}
+    for cores, seed, workload, lineup in _points(spec, scale, comparisons):
+        wl_key = (cores, seed, workload)
+        built = workload_cache.get(wl_key)
+        if built is None:
+            built = build_multithreaded(
+                get_workload(workload), cores, scale.accesses_per_core,
+                seed=seed, superpages=spec.superpages,
+            )
+            workload_cache[wl_key] = built
+        configs = {config.name: config for config in spec.lineup(cores)}
+        for name in sorted(lineup.results):
+            result = lineup.results[name]
+            config = configs[name]
+            geometry = structure_for(config)
+            geo_key = wl_key + (
+                (geometry.num_shards, geometry.entries_per_shard,
+                 geometry.ways, geometry.index_shift, geometry.private),
+            )
+            evals = eval_cache.get(geo_key)
+            if evals is None:
+                evals = offline_policy_eval(built, config)
+                eval_cache[geo_key] = evals
+            stats = result.stats
+            l2_accesses = stats.l2_hits + stats.l2_misses
+            speedup = (
+                1.0 if name == lineup.baseline_name
+                else lineup.speedup(name)
+            )
+            of_opt = pct_of_opt(evals, config.policy)
+            rows.append(
+                {"cores": cores, "seed": seed, "workload": workload,
+                 "config": name, "policy": config.policy,
+                 "arbitration": config.arbitration,
+                 "cycles": result.cycles, "speedup": speedup,
+                 "sim_l2_hit_rate": (
+                     stats.l2_hits / l2_accesses if l2_accesses else 0.0
+                 ),
+                 "offline_hit_rate": evals[config.policy].hit_rate,
+                 "opt_hit_rate": evals[OPT].hit_rate,
+                 "pct_of_opt": of_opt}
+            )
+            speed.setdefault(name, []).append(speedup)
+            pct.setdefault(name, []).append(of_opt)
+    summary: Summary = {}
+    for name, values in sorted(speed.items()):
+        summary[f"speedup_avg.{name}"] = _mean(values)
+    for name, values in sorted(pct.items()):
+        summary[f"pct_of_opt_avg.{name}"] = _mean(values)
+    summary["pct_of_opt_min"] = min(
+        row["pct_of_opt"] for row in rows
+    )
+    return {"policy_zoo": rows}, summary
 
 
 @register_reducer("table1")

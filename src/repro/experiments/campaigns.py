@@ -122,6 +122,26 @@ register_campaign(
 
 register_campaign(
     CampaignSpec(
+        name="policy_zoo",
+        title="Replacement-policy zoo vs the offline Belady (OPT) bound",
+        figure="ROADMAP item 3",
+        config_names=("private", "distributed", "distributed-arc",
+                      "distributed-twoq", "distributed-prio", "nocstar",
+                      "nocstar-arc", "nocstar-twoq", "nocstar-prio"),
+        scales=_scales(smoke_cores=(8,), reduced_cores=(16,)),
+        seed=SEED,
+        reducer="policy_zoo",
+        # Area-constrained slices: replacement choice only matters under
+        # capacity pressure, and campaign-scale traces fit comfortably
+        # in the full 1024-entry structures (every policy would tie at
+        # 100% of OPT).  128 entries/core keeps the zoo discriminative
+        # at smoke/reduced scale.
+        overrides=(("entries_per_core", 128),),
+    )
+)
+
+register_campaign(
+    CampaignSpec(
         name="headline",
         title="The paper's five headline artifacts",
         figure="Figs 2/12/14/15 + Table I",

@@ -111,11 +111,21 @@ class CampaignSpec:
     reducer: str = ""
     #: Member campaigns (meta campaigns only).
     members: Tuple[str, ...] = ()
+    #: SystemConfig field overrides applied to every lineup member
+    #: (``(("entries_per_core", 128), ...)``).  Lets a campaign pin an
+    #: operating point — e.g. the policy zoo's area-constrained slices,
+    #: where replacement choice actually matters — without registering
+    #: one-off configurations.  Overridden fields flow into the RunUnit
+    #: cache keys like any other SystemConfig field.
+    overrides: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "config_names", tuple(self.config_names))
         object.__setattr__(self, "scales", tuple(self.scales))
         object.__setattr__(self, "members", tuple(self.members))
+        object.__setattr__(
+            self, "overrides", tuple(tuple(pair) for pair in self.overrides)
+        )
         if not self.name:
             raise ValueError("a campaign needs a name")
         if self.kind not in (GRID, ANALYTIC, META):
@@ -197,8 +207,20 @@ class CampaignSpec:
         return len(self.grid(scale_name)) * len(self.config_names)
 
     def lineup(self, cores: int) -> List[cfg.SystemConfig]:
-        """The built configuration lineup at one core count."""
-        return [cfg.build_config(name, cores) for name in self.config_names]
+        """The built configuration lineup at one core count.
+
+        Overrides are applied by field replacement *after* the factory
+        runs, so they compose with factories that pin the same field
+        themselves (``nocstar`` sets ``entries_per_core``); the built
+        display names are preserved.
+        """
+        from dataclasses import replace
+
+        built = [cfg.build_config(name, cores) for name in self.config_names]
+        if self.overrides:
+            fields = dict(self.overrides)
+            built = [replace(config, **fields) for config in built]
+        return built
 
     def scenarios(self, scale_name: str) -> List[Scenario]:
         """One Scenario per (core count, seed) — workload-major fan-out.

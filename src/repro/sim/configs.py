@@ -21,7 +21,8 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.config import NocstarConfig
-from repro.tlb.l2_shared import MonolithicSharedTlb
+from repro.tlb.l2_shared import FIFO, PRIORITY, MonolithicSharedTlb
+from repro.tlb.policies import POLICY_NAMES
 
 #: A factory takes a core count (plus overrides) and returns a config.
 ConfigFactory = Callable[..., "SystemConfig"]
@@ -121,6 +122,13 @@ class SystemConfig:
     #: interference): cap the ways any single ASID may occupy per shared
     #: set.  None disables partitioning.
     qos_way_quota: Optional[int] = None
+    #: L2 replacement policy (repro.tlb.policies registry name).  Applies
+    #: to the private/shared L2 level only; L1 arrays stay LRU because
+    #: the batched engine inlines their OrderedDict operations.
+    policy: str = "lru"
+    #: Shared-TLB port arbitration: "fifo" (historical, default) or
+    #: "priority" (shootdown > walk > prefetch service classes).
+    arbitration: str = FIFO
 
     def __post_init__(self) -> None:
         if self.num_cores < 1:
@@ -133,6 +141,13 @@ class SystemConfig:
             raise ValueError("translation_overlap must be in [0, 1)")
         if self.qos_way_quota is not None and self.qos_way_quota < 1:
             raise ValueError("QoS way quota must be at least one way")
+        if self.policy not in POLICY_NAMES:
+            known = ", ".join(POLICY_NAMES)
+            raise ValueError(
+                f"unknown replacement policy {self.policy!r}; known: {known}"
+            )
+        if self.arbitration not in (FIFO, PRIORITY):
+            raise ValueError(f"unknown arbitration mode: {self.arbitration!r}")
 
     def renamed(self, name: str) -> "SystemConfig":
         return replace(self, name=name)
@@ -245,12 +260,59 @@ register_config(
 )
 
 
-def paper_lineup(num_cores: int) -> Tuple[SystemConfig, ...]:
-    """The four-way comparison of Figs 12-14: Mon/Dist/NOCSTAR/Ideal."""
+#: Replacement-policy and arbitration variants of the shared schemes
+#: (ROADMAP item 3: the policy zoo).  Each pins the override, then
+#: renames so sweeps and campaigns can address the variant directly;
+#: explicit overrides still win over the pinned default.
+register_config(
+    "distributed-arc",
+    lambda num_cores, **overrides: distributed(
+        num_cores, **{"policy": "arc", **overrides}
+    ).renamed("distributed-arc"),
+)
+register_config(
+    "distributed-twoq",
+    lambda num_cores, **overrides: distributed(
+        num_cores, **{"policy": "twoq", **overrides}
+    ).renamed("distributed-twoq"),
+)
+register_config(
+    "nocstar-arc",
+    lambda num_cores, **overrides: nocstar(
+        num_cores, **{"policy": "arc", **overrides}
+    ).renamed("nocstar-arc"),
+)
+register_config(
+    "nocstar-twoq",
+    lambda num_cores, **overrides: nocstar(
+        num_cores, **{"policy": "twoq", **overrides}
+    ).renamed("nocstar-twoq"),
+)
+register_config(
+    "distributed-prio",
+    lambda num_cores, **overrides: distributed(
+        num_cores, **{"arbitration": PRIORITY, **overrides}
+    ).renamed("distributed-prio"),
+)
+register_config(
+    "nocstar-prio",
+    lambda num_cores, **overrides: nocstar(
+        num_cores, **{"arbitration": PRIORITY, **overrides}
+    ).renamed("nocstar-prio"),
+)
+
+
+def paper_lineup(num_cores: int, **overrides) -> Tuple[SystemConfig, ...]:
+    """The four-way comparison of Figs 12-14: Mon/Dist/NOCSTAR/Ideal.
+
+    ``overrides`` (e.g. ``policy="arc"``) apply to every member, so
+    sweeps can rerun the whole lineup under a different replacement
+    policy or arbitration mode.
+    """
     return (
-        private(num_cores),
-        monolithic(num_cores),
-        distributed(num_cores),
-        nocstar(num_cores),
-        ideal(num_cores),
+        private(num_cores, **overrides),
+        monolithic(num_cores, **overrides),
+        distributed(num_cores, **overrides),
+        nocstar(num_cores, **overrides),
+        ideal(num_cores, **overrides),
     )

@@ -39,7 +39,13 @@ from repro.obs import NULL_SINK
 from repro.sim import configs as cfg
 from repro.tlb.l1 import L1Tlb, L1TlbConfig
 from repro.tlb.l2_private import L2TlbConfig, PrivateL2Tlb
-from repro.tlb.l2_shared import DistributedSharedTlb, MonolithicSharedTlb
+from repro.tlb.l2_shared import (
+    PREFETCH_CLASS,
+    PRIORITY,
+    WALK_CLASS,
+    DistributedSharedTlb,
+    MonolithicSharedTlb,
+)
 from repro.tlb.prefetch import SequentialPrefetcher
 from repro.tlb.shootdown import InvalidationController
 from repro.tlb.stats import TlbStats
@@ -108,7 +114,9 @@ class System:
         self.mono_tile = self.topology.edge_tile
         scheme = config.scheme
         if scheme == cfg.PRIVATE:
-            l2cfg = L2TlbConfig(config.entries_per_core, config.l2_ways)
+            l2cfg = L2TlbConfig(
+                config.entries_per_core, config.l2_ways, policy=config.policy
+            )
             self.private_l2 = [PrivateL2Tlb(l2cfg) for _ in range(n)]
             self.l2_lookup_cycles = self.private_l2[0].lookup_cycles
         elif scheme == cfg.MONOLITHIC:
@@ -116,6 +124,7 @@ class System:
             self.shared_l2 = MonolithicSharedTlb(
                 config.entries_per_core * n, banks, config.l2_ways,
                 indexer=get_indexer(config.slice_indexing),
+                policy=config.policy, arbitration=config.arbitration,
             )
             if config.fixed_shared_latency is not None:
                 self.l2_lookup_cycles = config.fixed_shared_latency
@@ -137,6 +146,7 @@ class System:
             self.shared_l2 = DistributedSharedTlb(
                 n, config.entries_per_core, config.l2_ways,
                 indexer=get_indexer(config.slice_indexing),
+                policy=config.policy, arbitration=config.arbitration,
             )
             self.l2_lookup_cycles = self.shared_l2.lookup_cycles
             if scheme == cfg.DISTRIBUTED:
@@ -208,6 +218,13 @@ class System:
         self.pending_penalty = [0] * n
         #: Fraction of access latency the OoO core hides (see configs).
         self._visible = 1.0 - config.translation_overlap
+        #: Service classes the shared-port reservations tag their
+        #: traffic with; all zero under FIFO arbitration, so the FIFO
+        #: reservation arithmetic is untouched (shootdown sweeps stay
+        #: class 0 — the highest — in both modes).
+        prio = config.arbitration == PRIORITY
+        self._klass_walk = WALK_CLASS if prio else 0
+        self._klass_prefetch = PREFETCH_CLASS if prio else 0
 
     # ------------------------------------------------------------------
     # Translation path below the L1 probe
@@ -314,7 +331,7 @@ class System:
             arrival = now  # ideal zero-latency interconnect / fixed-latency
 
         # Slice/bank port + SRAM lookup.
-        start = shared.reserve_read(home, arrival)
+        start = shared.reserve_read(home, arrival, self._klass_walk)
         lookup_done = start + self.l2_lookup_cycles
         if self.record_intervals:
             self.intervals.append((arrival, lookup_done, home))
@@ -343,7 +360,7 @@ class System:
                         self._last_pollution * POLLUTION_CYCLES_PER_FILL
                     )
                 shared.insert_page_number(asid, size, page_number)
-                shared.reserve_write(home, walk_done)
+                shared.reserve_write(home, walk_done, self._klass_walk)
                 walk_cycles = walk_done - lookup_done
                 response_from = walk_done
             else:
@@ -407,7 +424,7 @@ class System:
             self.network.send(core, dst_tile, when)
         elif self.network is not None:
             self.network.send(core, dst_tile, when)
-        self.shared_l2.reserve_write(home, when)
+        self.shared_l2.reserve_write(home, when, self._klass_walk)
 
     def _prefetch_fill(
         self, core: int, asid: int, size: int, page_number: int, when: int
@@ -423,7 +440,9 @@ class System:
                 continue
             self._async_prefetch_walk(core, pa, ps, pp, when)
             self.shared_l2.insert_page_number(pa, ps, pp)
-            self.shared_l2.reserve_write(self.shared_l2.home(pp, pa), when)
+            self.shared_l2.reserve_write(
+                self.shared_l2.home(pp, pa), when, self._klass_prefetch
+            )
             self.stats.prefetches += 1
 
     def _async_prefetch_walk(

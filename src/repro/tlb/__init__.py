@@ -3,6 +3,12 @@
 from repro.tlb.l1 import L1Tlb, L1TlbConfig
 from repro.tlb.l2_private import L2TlbConfig, PrivateL2Tlb
 from repro.tlb.l2_shared import DistributedSharedTlb, MonolithicSharedTlb
+from repro.tlb.opt import PolicyEval, offline_policy_eval, pct_of_opt
+from repro.tlb.policies import (
+    POLICY_NAMES,
+    ReplacementPolicy,
+    make_policy,
+)
 from repro.tlb.prefetch import SequentialPrefetcher
 from repro.tlb.set_assoc import SetAssociativeTLB
 from repro.tlb.shootdown import (
@@ -19,6 +25,12 @@ __all__ = [
     "PrivateL2Tlb",
     "DistributedSharedTlb",
     "MonolithicSharedTlb",
+    "POLICY_NAMES",
+    "PolicyEval",
+    "ReplacementPolicy",
+    "make_policy",
+    "offline_policy_eval",
+    "pct_of_opt",
     "SequentialPrefetcher",
     "SetAssociativeTLB",
     "InvalidationController",

@@ -21,6 +21,8 @@ class L2TlbConfig:
 
     entries: int = 1024
     ways: int = 8
+    #: Replacement policy (repro.tlb.policies registry name).
+    policy: str = "lru"
 
     @property
     def lookup_cycles(self) -> int:
@@ -32,7 +34,9 @@ class PrivateL2Tlb:
 
     def __init__(self, config: L2TlbConfig = L2TlbConfig()) -> None:
         self.config = config
-        self.array = SetAssociativeTLB(config.entries, config.ways, "l2-private")
+        self.array = SetAssociativeTLB(
+            config.entries, config.ways, "l2-private", policy=config.policy
+        )
         self.lookup_cycles = config.lookup_cycles
 
     @staticmethod

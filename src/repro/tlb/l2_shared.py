@@ -30,6 +30,17 @@ from repro.vm.address import PAGE_1G, translation_vpn
 BANK_MUX_CYCLES = 2
 
 
+#: Arbitration modes for the per-bank/slice ports.
+FIFO = "fifo"
+PRIORITY = "priority"
+
+#: Service classes under priority arbitration (lower wins): shootdown
+#: invalidations preempt demand walks/fills, which preempt prefetches.
+SHOOTDOWN_CLASS = 0
+WALK_CLASS = 1
+PREFETCH_CLASS = 2
+
+
 class _PortSet:
     """Pipelined access ports: one new access per port per cycle.
 
@@ -37,28 +48,43 @@ class _PortSet:
     the engine's bounded out-of-order reservations only conflict when
     two accesses genuinely claim the same cycle — see the reservation
     note in :mod:`repro.core.nocstar`.
+
+    Under ``priority`` arbitration, a contended reservation of service
+    class ``klass > 0`` yields ``klass`` extra cycles to whatever beat
+    it and re-arbitrates from there (shootdown > walk > prefetch, per
+    the priority-traffic-classes model in PAPERS.md).  Class-0 traffic
+    and every uncontended access follow the FIFO arithmetic exactly, so
+    ``fifo`` mode — and every class-0 reservation — is byte-identical
+    to the historical behaviour.
     """
 
-    def __init__(self, num_ports: int) -> None:
+    def __init__(self, num_ports: int, priority: bool = False) -> None:
         self.num_ports = num_ports
+        self.priority = priority
         self._starts: Dict[int, int] = {}  # cycle -> accesses started
         self.conflict_cycles = 0
 
-    def reserve(self, now: int) -> int:
+    def reserve(self, now: int, klass: int = 0) -> int:
         """Return the cycle the access can start (>= now)."""
         start = now
         starts = self._starts
         while starts.get(start, 0) >= self.num_ports:
             start += 1
+        if klass and self.priority and start > now:
+            # Lower-priority traffic lost the arbitration: pay the
+            # class penalty, then take the next genuinely free cycle.
+            start += klass
+            while starts.get(start, 0) >= self.num_ports:
+                start += 1
         starts[start] = starts.get(start, 0) + 1
         self.conflict_cycles += start - now
         return start
 
-    def reserve_many(self, now: int, count: int) -> int:
+    def reserve_many(self, now: int, count: int, klass: int = 0) -> int:
         """Back-to-back accesses (invalidation sweeps); returns last cycle."""
         last = now
         for _ in range(count):
-            last = self.reserve(last)
+            last = self.reserve(last, klass)
         return last
 
 
@@ -74,21 +100,33 @@ class _ShardedTlb:
         read_ports: int = 2,
         write_ports: int = 1,
         indexer: IndexFn = modulo_index,
+        policy: str = "lru",
+        arbitration: str = FIFO,
     ) -> None:
         if total_entries % num_shards:
             raise ValueError("entries must divide evenly across shards")
+        if arbitration not in (FIFO, PRIORITY):
+            raise ValueError(f"unknown arbitration mode: {arbitration!r}")
         self.num_shards = num_shards
         self._indexer = indexer
+        self.policy = policy
+        self.arbitration = arbitration
         self.entries_per_shard = total_entries // num_shards
         shift = max(num_shards - 1, 0).bit_length()  # log2 for power of two
         self.shards: List[SetAssociativeTLB] = [
             SetAssociativeTLB(
-                self.entries_per_shard, ways, f"{name}[{i}]", index_shift=shift
+                self.entries_per_shard, ways, f"{name}[{i}]",
+                index_shift=shift, policy=policy,
             )
             for i in range(num_shards)
         ]
-        self.read_ports = [_PortSet(read_ports) for _ in range(num_shards)]
-        self.write_ports = [_PortSet(write_ports) for _ in range(num_shards)]
+        prio = arbitration == PRIORITY
+        self.read_ports = [
+            _PortSet(read_ports, priority=prio) for _ in range(num_shards)
+        ]
+        self.write_ports = [
+            _PortSet(write_ports, priority=prio) for _ in range(num_shards)
+        ]
 
     def home(self, page_number: int, asid: int = 0) -> int:
         """Shard holding a translation (configurable indexing, §III-A)."""
@@ -155,11 +193,11 @@ class _ShardedTlb:
             asid, page_size, page_number
         )
 
-    def reserve_read(self, shard: int, now: int) -> int:
-        return self.read_ports[shard].reserve(now)
+    def reserve_read(self, shard: int, now: int, klass: int = 0) -> int:
+        return self.read_ports[shard].reserve(now, klass)
 
-    def reserve_write(self, shard: int, now: int) -> int:
-        return self.write_ports[shard].reserve(now)
+    def reserve_write(self, shard: int, now: int, klass: int = 0) -> int:
+        return self.write_ports[shard].reserve(now, klass)
 
     def flush(self) -> int:
         return sum(shard.flush() for shard in self.shards)
@@ -203,9 +241,12 @@ class MonolithicSharedTlb(_ShardedTlb):
         num_banks: int = 4,
         ways: int = 8,
         indexer: IndexFn = modulo_index,
+        policy: str = "lru",
+        arbitration: str = FIFO,
     ) -> None:
         super().__init__(total_entries, ways, num_banks, "mono-bank",
-                         indexer=indexer)
+                         indexer=indexer, policy=policy,
+                         arbitration=arbitration)
         self.lookup_cycles = sram.lookup_cycles(total_entries) + 1
 
     @staticmethod
@@ -223,9 +264,11 @@ class DistributedSharedTlb(_ShardedTlb):
         entries_per_slice: int = 1024,
         ways: int = 8,
         indexer: IndexFn = modulo_index,
+        policy: str = "lru",
+        arbitration: str = FIFO,
     ) -> None:
         super().__init__(
             entries_per_slice * num_slices, ways, num_slices, "slice",
-            indexer=indexer,
+            indexer=indexer, policy=policy, arbitration=arbitration,
         )
         self.lookup_cycles = sram.lookup_cycles(entries_per_slice)

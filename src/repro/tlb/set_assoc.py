@@ -1,20 +1,27 @@
-"""Set-associative TLB array with LRU replacement and modulo indexing.
+"""Set-associative TLB array with pluggable replacement, modulo indexed.
 
 Matches the paper's assumptions (§III-E): lower-order virtual page
-number bits choose the set (modulo indexing), LRU replacement, and
-entries tagged with a context ID (ASID) plus a valid bit.  Entries are
-keyed ``(asid, page_size, page_number)`` so 4KB and 2MB translations
-can coexist in one array, as in Haswell's unified L2 TLB.
+number bits choose the set (modulo indexing), LRU replacement by
+default, and entries tagged with a context ID (ASID) plus a valid bit.
+Entries are keyed ``(asid, page_size, page_number)`` so 4KB and 2MB
+translations can coexist in one array, as in Haswell's unified L2 TLB.
 
 ``index_shift`` lets a distributed shared TLB skip the bits already
 consumed by slice selection, so consecutive pages spread across both
 slices and sets without aliasing.
+
+``policy`` names the per-set replacement state machine
+(:mod:`repro.tlb.policies`): ``lru`` (default, byte-identical to the
+historical hardcoded behaviour), ``arc``, or ``twoq``.  The engine's
+batched fast path inlines LRU OrderedDict operations on L1 arrays, so
+L1 TLBs must stay on the default policy; L2 structures may run any.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Iterator, Optional, Tuple
+
+from repro.tlb.policies import make_policy
 
 Key = Tuple[int, int, int]  # (asid, page_size, page_number)
 
@@ -28,6 +35,7 @@ class SetAssociativeTLB:
         ways: int,
         name: str = "tlb",
         index_shift: int = 0,
+        policy: str = "lru",
     ) -> None:
         if entries <= 0 or ways <= 0:
             raise ValueError("entries and ways must be positive")
@@ -42,74 +50,80 @@ class SetAssociativeTLB:
         self.ways = ways
         self.num_sets = entries // ways
         self.index_shift = index_shift
-        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        self.policy = policy
+        self._sets = [make_policy(policy, ways) for _ in range(self.num_sets)]
         self.hits = 0
         self.misses = 0
         self.insertions = 0
         self.evictions = 0
         #: QoS way-partitioning (the paper's future-work interference
         #: fix): when set, no ASID may occupy more than this many ways
-        #: of any set — its own LRU entry is evicted instead of another
-        #: context's.  None disables partitioning.
+        #: of any set — its own most-evictable entry is evicted instead
+        #: of another context's.  None disables partitioning.
         self.way_quota: Optional[int] = None
 
-    def _set_for(self, page_number: int) -> OrderedDict:
+    def _set_for(self, page_number: int):
         return self._sets[(page_number >> self.index_shift) % self.num_sets]
 
     def lookup(self, asid: int, page_size: int, page_number: int) -> bool:
-        """Probe the array; hits refresh LRU state."""
+        """Probe the array; hits refresh replacement state."""
         cache_set = self._set_for(page_number)
         key = (asid, page_size, page_number)
         if key in cache_set:
-            cache_set.move_to_end(key)
+            cache_set.touch(key)
             self.hits += 1
             return True
         self.misses += 1
         return False
 
     def probe(self, asid: int, page_size: int, page_number: int) -> bool:
-        """Check presence without perturbing LRU state or counters."""
+        """Check presence without perturbing replacement state/counters.
+
+        Policy states expose only *resident* membership through ``in``
+        (never ghost history), so a probe can neither refresh recency
+        nor leak an observation into ARC/2Q adaptation.
+        """
         return (asid, page_size, page_number) in self._set_for(page_number)
 
     def insert(self, asid: int, page_size: int, page_number: int) -> Optional[Key]:
-        """Install a translation; returns the evicted key, if any."""
+        """Install a translation; returns the evicted key, if any.
+
+        Reinstalling a resident key is a refresh, not a replacement
+        decision.  With a QoS way quota, an over-quota ASID evicts its
+        own most-evictable entry — even when the set itself still has
+        free ways — before the policy is consulted for capacity.
+        """
         cache_set = self._set_for(page_number)
         key = (asid, page_size, page_number)
         evicted = None
-        if key not in cache_set:
+        if key in cache_set:
+            cache_set.touch(key)
+        else:
             quota = self.way_quota
             if quota is not None:
-                own = [k for k in cache_set if k[0] == asid]
+                own = [k for k in cache_set.members() if k[0] == asid]
                 if len(own) >= quota:
-                    evicted = own[0]  # the ASID's own LRU entry
-                    del cache_set[evicted]
+                    evicted = own[0]  # the ASID's own most-evictable entry
+                    cache_set.remove(evicted)
                     self.evictions += 1
-            if evicted is None and len(cache_set) >= self.ways:
-                evicted, _ = cache_set.popitem(last=False)
+            spilled = cache_set.admit(key)
+            if spilled is not None:
+                evicted = spilled
                 self.evictions += 1
-        cache_set[key] = None
-        cache_set.move_to_end(key)
         self.insertions += 1
         return evicted
 
     def invalidate(self, asid: int, page_size: int, page_number: int) -> bool:
-        """Shoot down one translation; True if it was present."""
-        cache_set = self._set_for(page_number)
-        key = (asid, page_size, page_number)
-        if key in cache_set:
-            del cache_set[key]
-            return True
-        return False
+        """Shoot down one translation; True if it was present.
+
+        Also drops any ghost/history state the policy kept for the key
+        — a remapped translation must not count as a ghost hit later.
+        """
+        return self._set_for(page_number).remove((asid, page_size, page_number))
 
     def invalidate_asid(self, asid: int) -> int:
         """Drop every translation belonging to ``asid`` (context teardown)."""
-        dropped = 0
-        for cache_set in self._sets:
-            stale = [key for key in cache_set if key[0] == asid]
-            for key in stale:
-                del cache_set[key]
-            dropped += len(stale)
-        return dropped
+        return sum(cache_set.purge_asid(asid) for cache_set in self._sets)
 
     def flush(self) -> int:
         """Drop everything (full-TLB flush on context switch, §V storms)."""
@@ -128,7 +142,7 @@ class SetAssociativeTLB:
 
     def iter_keys(self) -> Iterator[Key]:
         for cache_set in self._sets:
-            yield from cache_set.keys()
+            yield from cache_set.members()
 
     def reset_stats(self) -> None:
         self.hits = self.misses = self.insertions = self.evictions = 0

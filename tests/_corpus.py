@@ -67,9 +67,12 @@ def differential_corpus():
     """``(name, Scenario)`` pairs for batched-vs-reference comparison.
 
     Spans every interconnect model, faults on/off, metrics/trace on/off,
-    and the pathological-traffic workloads (context-switch storms and
+    the pathological-traffic workloads (context-switch storms and
     shootdown trains, which force the reference drive loop in both
-    engines but still cross the route-cache dispatch).
+    engines but still cross the route-cache dispatch), and the
+    replacement-policy/arbitration axis (arc/twoq L2 slices and the
+    priority arbiter must stay byte-identical across engines, job
+    counts, and cache replay like everything else).
     """
     pinned_faults = FaultPlan(
         num_tiles=8, failed_links=((0, 1),)
@@ -139,6 +142,26 @@ def differential_corpus():
             "distributed-shootdown",
             cfg.distributed(8),
             "olio",
+            shootdown=ShootdownTraffic(period=3000, initiators=2),
+        ),
+        _single(
+            "distributed-arc", cfg.build_config("distributed-arc", 8), "gups"
+        ),
+        _single(
+            "nocstar-twoq",
+            cfg.build_config("nocstar-twoq", 8),
+            "graph500",
+            metrics=True,
+            trace=True,
+        ),
+        _single(
+            "nocstar-prio", cfg.build_config("nocstar-prio", 8), "olio"
+        ),
+        _single("private-twoq", cfg.private(8, policy="twoq"), "canneal"),
+        _single(
+            "monolithic-arc-shootdown",
+            cfg.monolithic(8, policy="arc"),
+            "xsbench",
             shootdown=ShootdownTraffic(period=3000, initiators=2),
         ),
     ]

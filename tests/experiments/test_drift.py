@@ -120,7 +120,8 @@ def test_pin_file_layout(tmp_path):
 
 def test_shipped_pins_cover_smoke_and_reduced():
     # The in-tree pins gate both CI scales of every shipped campaign.
-    for campaign in ("fig2", "fig12", "fig13", "fig14", "fig15", "table1"):
+    for campaign in ("fig2", "fig12", "fig13", "fig14", "fig15", "table1",
+                     "policy_zoo"):
         payload = load_pins(campaign)
         assert payload is not None, f"no pins shipped for {campaign}"
         assert payload["schema"] == 1

@@ -132,3 +132,36 @@ def test_plot_degrades_to_csv_only_without_matplotlib(tmp_path, monkeypatch):
     with warnings.catch_warnings():
         warnings.simplefilter("error")
         run.write(str(tmp_path / "two"), plot=True)
+
+
+#: Tiny policy-zoo grid: enough to exercise the offline-OPT reducer
+#: without campaign-scale replay cost.
+TINY_ZOO = CampaignSpec(
+    name="tiny-zoo",
+    title="tiny policy-zoo campaign",
+    figure="Fig T",
+    config_names=("private", "distributed", "distributed-arc"),
+    reducer="policy_zoo",
+    scales=(("smoke", Scale(300, ("gups",), (4,))),),
+    seed=5,
+    overrides=(("entries_per_core", 64),),
+)
+
+
+def test_policy_zoo_reducer_reports_pct_of_opt():
+    run = run_campaign(TINY_ZOO, scale="smoke")
+    rows = run.tables["policy_zoo"]
+    assert len(rows) == 3  # one per lineup member
+    by_config = {row["config"]: row for row in rows}
+    assert by_config["distributed-arc"]["policy"] == "arc"
+    assert by_config["distributed"]["arbitration"] == "fifo"
+    for row in rows:
+        # The Belady bound dominates: never above 100% of OPT, and the
+        # offline replay shares the sim's structure geometry.
+        assert 0.0 < row["pct_of_opt"] <= 100.0
+        assert row["opt_hit_rate"] >= row["offline_hit_rate"]
+        assert row["workload"] == "gups"
+    assert run.summary["pct_of_opt_min"] <= 100.0
+    for name in TINY_ZOO.config_names:
+        assert f"pct_of_opt_avg.{name}" in run.summary
+        assert f"speedup_avg.{name}" in run.summary

@@ -172,3 +172,42 @@ def test_headline_meta_expansion():
 def test_unknown_campaign_lists_known():
     with pytest.raises(KeyError, match="fig12"):
         get_campaign("fig99")
+
+
+# ----------------------------------------------------------------------
+# lineup overrides (the policy_zoo operating point)
+
+
+def test_overrides_canonicalised_and_applied():
+    spec = tiny_spec(overrides=[["entries_per_core", 256]])
+    assert spec.overrides == (("entries_per_core", 256),)
+    for config in spec.lineup(4):
+        assert config.entries_per_core == 256
+
+
+def test_overrides_compose_with_pinning_factories():
+    """nocstar's factory pins entries_per_core itself; the override
+    must replace the field *after* the factory, keeping the name."""
+    spec = tiny_spec(config_names=("private", "nocstar"),
+                     baseline="private",
+                     overrides=(("entries_per_core", 128),))
+    lineup = {config.name: config for config in spec.lineup(8)}
+    assert lineup["nocstar"].entries_per_core == 128
+    assert lineup["private"].entries_per_core == 128
+
+
+def test_no_overrides_means_factory_defaults():
+    spec = tiny_spec()
+    assert spec.overrides == ()
+    assert spec.lineup(8)[0].entries_per_core == 1024
+
+
+def test_policy_zoo_spec_contents():
+    zoo = get_campaign("policy_zoo")
+    assert zoo.reducer == "policy_zoo"
+    assert dict(zoo.overrides) == {"entries_per_core": 128}
+    assert "distributed-arc" in zoo.config_names
+    assert "nocstar-prio" in zoo.config_names
+    assert zoo.baseline == "private"
+    built = {config.name for config in zoo.lineup(8)}
+    assert built == set(zoo.config_names)

@@ -71,3 +71,67 @@ def test_validation():
 
 def test_renamed():
     assert cfg.private(8).renamed("baseline").name == "baseline"
+
+
+# ---------------------------------------------------------------------------
+# replacement policy / arbitration axis
+
+
+def test_policy_and_arbitration_validated():
+    with pytest.raises(ValueError, match="policy"):
+        cfg.SystemConfig(
+            name="x", num_cores=4, scheme=cfg.PRIVATE, policy="belady"
+        )
+    with pytest.raises(ValueError, match="arbitration"):
+        cfg.SystemConfig(
+            name="x", num_cores=4, scheme=cfg.PRIVATE, arbitration="lottery"
+        )
+
+
+def test_policy_defaults_stay_lru_fifo():
+    config = cfg.nocstar(8)
+    assert config.policy == "lru"
+    assert config.arbitration == "fifo"
+
+
+def test_registered_policy_variants():
+    for name, policy, arbitration in [
+        ("distributed-arc", "arc", "fifo"),
+        ("distributed-twoq", "twoq", "fifo"),
+        ("distributed-prio", "lru", "priority"),
+        ("nocstar-arc", "arc", "fifo"),
+        ("nocstar-twoq", "twoq", "fifo"),
+        ("nocstar-prio", "lru", "priority"),
+    ]:
+        config = cfg.build_config(name, 8)
+        assert config.name == name
+        assert config.policy == policy
+        assert config.arbitration == arbitration
+
+
+def test_paper_lineup_accepts_policy_override():
+    lineup = cfg.paper_lineup(8, policy="arc")
+    assert all(config.policy == "arc" for config in lineup)
+
+
+def test_policy_is_a_cache_key_field():
+    """Two units differing only in policy/arbitration never alias."""
+    from repro.exec.cache import unit_key
+    from repro.sim.scenario import Scenario
+
+    def key_for(config):
+        scenario = Scenario(
+            configurations=(config,),
+            workloads=("gups",),
+            accesses_per_core=100,
+            baseline_name=config.name,
+        )
+        return unit_key(scenario.units()[0], "1")
+
+    base = cfg.distributed(8)
+    keys = {
+        key_for(base),
+        key_for(cfg.build_config("distributed-arc", 8).renamed("distributed")),
+        key_for(cfg.build_config("distributed-prio", 8).renamed("distributed")),
+    }
+    assert len(keys) == 3

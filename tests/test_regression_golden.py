@@ -71,6 +71,44 @@ def test_golden_64_cores(workload_64, name, cycles, misses):
     assert result.stats.l2_misses == misses
 
 
+# Replacement-policy zoo pins, taken at the area-constrained operating
+# point (128 entries/core) where the replacement choice actually moves
+# the numbers: campaign-scale canneal fits the stock 1024-entry slices,
+# and every policy ties there.  Derived with the same helper.
+GOLDEN_POLICY = [
+    ("distributed", 60473, 1834),
+    ("distributed-arc", 58652, 1747),
+    ("distributed-twoq", 60953, 2062),
+    ("distributed-prio", 60473, 1834),
+    ("nocstar", 59488, 1830),
+    ("nocstar-arc", 57533, 1742),
+    ("nocstar-twoq", 59635, 2064),
+    ("nocstar-prio", 59488, 1830),
+]
+
+
+@pytest.mark.parametrize("name,cycles,misses", GOLDEN_POLICY)
+def test_golden_policy_zoo(workload, name, cycles, misses):
+    from dataclasses import replace
+
+    config = replace(cfg.build_config(name, 8), entries_per_core=128)
+    result = simulate(config, workload)
+    assert result.cycles == cycles
+    assert result.stats.l2_misses == misses
+
+
+def test_policy_goldens_are_internally_consistent():
+    cycles = {g[0]: g[1] for g in GOLDEN_POLICY}
+    # ARC adapts past pure recency on canneal; 2Q's probation FIFO
+    # hurts it.  The ordering is part of the pin.
+    for base in ("distributed", "nocstar"):
+        assert cycles[f"{base}-arc"] < cycles[base] < cycles[f"{base}-twoq"]
+        # Priority arbitration is byte-identical to FIFO without port
+        # contention (class-0/uncontended identity) — a deliberate pin:
+        # if this tie breaks, the arbiter changed demand-path behaviour.
+        assert cycles[f"{base}-prio"] == cycles[base]
+
+
 def test_goldens_are_internally_consistent():
     names = [g[0] for g in GOLDEN]
     cycles = {g[0]: g[1] for g in GOLDEN}

@@ -1,0 +1,282 @@
+"""Independent reference implementations the policy zoo is proven against.
+
+Three self-contained oracles, deliberately written with different data
+structures than ``repro.tlb.policies`` (plain lists, index 0 = LRU /
+FIFO head) so shared bugs are unlikely:
+
+* :class:`SeedSetAssociativeTLB` — a verbatim copy of the repository's
+  *pre-refactor* ``set_assoc.py`` (hardcoded-LRU) array.  The
+  refactored ``policy="lru"`` array must byte-match it on any operation
+  sequence.
+* :class:`ArcOracle` — ARC transcribed directly from Megiddo & Modha's
+  FAST '03 pseudocode (Fig 4), with the shipped implementation's
+  documented conventions (integer ``p`` deltas, not-full ``REPLACE``
+  no-op, quota evictions never ghost).
+* :class:`TwoQOracle` — full 2Q transcribed from Johnson & Shasha's
+  VLDB '94 pseudocode, with ``Kin = max(1, c // 4)``,
+  ``Kout = max(1, c // 2)`` and the documented Am-empty fallback.
+
+The oracles expose the TLB's split flow: ``hit(key)`` for a resident
+hit, ``insert(key) -> evicted`` for a miss install, plus
+``remove``/``residents``.
+"""
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Tuple
+
+Key = Tuple[int, int, int]
+
+
+class SeedSetAssociativeTLB:
+    """The seed repository's LRU array, copied verbatim (renamed only)."""
+
+    def __init__(
+        self,
+        entries: int,
+        ways: int,
+        name: str = "tlb",
+        index_shift: int = 0,
+    ) -> None:
+        if entries <= 0 or ways <= 0:
+            raise ValueError("entries and ways must be positive")
+        if ways > entries:
+            ways = entries
+        if entries % ways:
+            raise ValueError(f"{name}: {entries} entries not divisible by {ways} ways")
+        self.name = name
+        self.entries = entries
+        self.ways = ways
+        self.num_sets = entries // ways
+        self.index_shift = index_shift
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.way_quota: Optional[int] = None
+
+    def _set_for(self, page_number: int) -> OrderedDict:
+        return self._sets[(page_number >> self.index_shift) % self.num_sets]
+
+    def lookup(self, asid: int, page_size: int, page_number: int) -> bool:
+        cache_set = self._set_for(page_number)
+        key = (asid, page_size, page_number)
+        if key in cache_set:
+            cache_set.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def probe(self, asid: int, page_size: int, page_number: int) -> bool:
+        return (asid, page_size, page_number) in self._set_for(page_number)
+
+    def insert(self, asid: int, page_size: int, page_number: int) -> Optional[Key]:
+        cache_set = self._set_for(page_number)
+        key = (asid, page_size, page_number)
+        evicted = None
+        if key not in cache_set:
+            quota = self.way_quota
+            if quota is not None:
+                own = [k for k in cache_set if k[0] == asid]
+                if len(own) >= quota:
+                    evicted = own[0]
+                    del cache_set[evicted]
+                    self.evictions += 1
+            if evicted is None and len(cache_set) >= self.ways:
+                evicted, _ = cache_set.popitem(last=False)
+                self.evictions += 1
+        cache_set[key] = None
+        cache_set.move_to_end(key)
+        self.insertions += 1
+        return evicted
+
+    def invalidate(self, asid: int, page_size: int, page_number: int) -> bool:
+        cache_set = self._set_for(page_number)
+        key = (asid, page_size, page_number)
+        if key in cache_set:
+            del cache_set[key]
+            return True
+        return False
+
+    def invalidate_asid(self, asid: int) -> int:
+        dropped = 0
+        for cache_set in self._sets:
+            stale = [key for key in cache_set if key[0] == asid]
+            for key in stale:
+                del cache_set[key]
+            dropped += len(stale)
+        return dropped
+
+    def flush(self) -> int:
+        dropped = self.occupancy
+        for cache_set in self._sets:
+            cache_set.clear()
+        return dropped
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def iter_keys(self) -> Iterator[Key]:
+        for cache_set in self._sets:
+            yield from cache_set.keys()
+
+
+class ArcOracle:
+    """ARC(c) per Megiddo & Modha FAST '03, Fig 4, on plain lists.
+
+    ``t1``/``t2`` are the resident recency/frequency lists, ``b1``/
+    ``b2`` their ghosts; all lists run LRU (index 0) -> MRU.
+    """
+
+    def __init__(self, c: int) -> None:
+        self.c = c
+        self.t1: List[Key] = []
+        self.t2: List[Key] = []
+        self.b1: List[Key] = []
+        self.b2: List[Key] = []
+        self.p = 0
+
+    def residents(self) -> List[Key]:
+        """Eviction-preference order: T1 (LRU first) then T2."""
+        return self.t1 + self.t2
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self.t1 or key in self.t2
+
+    def _replace(self, in_b2: bool) -> Optional[Key]:
+        # REPLACE(x, p) — plus the convention that nothing is evicted
+        # while the cache is not actually full.
+        if len(self.t1) + len(self.t2) < self.c:
+            return None
+        if self.t1 and (
+            len(self.t1) > self.p or (in_b2 and len(self.t1) == self.p)
+        ):
+            victim = self.t1.pop(0)
+            self.b1.append(victim)
+        elif self.t2:
+            victim = self.t2.pop(0)
+            self.b2.append(victim)
+        else:
+            victim = self.t1.pop(0)
+            self.b1.append(victim)
+        return victim
+
+    def hit(self, key: Key) -> None:
+        # Case I: x in T1 u T2 -> move to MRU of T2.
+        if key in self.t1:
+            self.t1.remove(key)
+        else:
+            self.t2.remove(key)
+        self.t2.append(key)
+
+    def insert(self, key: Key) -> Optional[Key]:
+        if key in self.b1:
+            # Case II: adapt p upward, replace, promote ghost to T2.
+            delta = max(len(self.b2) // len(self.b1), 1)
+            self.p = min(self.p + delta, self.c)
+            victim = self._replace(False)
+            self.b1.remove(key)
+            self.t2.append(key)
+            return victim
+        if key in self.b2:
+            # Case III: adapt p downward, replace, promote ghost to T2.
+            delta = max(len(self.b1) // len(self.b2), 1)
+            self.p = max(self.p - delta, 0)
+            victim = self._replace(True)
+            self.b2.remove(key)
+            self.t2.append(key)
+            return victim
+        # Case IV: cold miss.
+        victim = None
+        l1 = len(self.t1) + len(self.b1)
+        if l1 == self.c:
+            # Case IV-A.
+            if len(self.t1) < self.c:
+                self.b1.pop(0)
+                victim = self._replace(False)
+            else:
+                victim = self.t1.pop(0)  # no ghosting (documented)
+        elif l1 < self.c:
+            # Case IV-B.
+            total = l1 + len(self.t2) + len(self.b2)
+            if total >= self.c:
+                if total == 2 * self.c:
+                    self.b2.pop(0)
+                victim = self._replace(False)
+        self.t1.append(key)
+        return victim
+
+    def remove(self, key: Key) -> bool:
+        for residents in (self.t1, self.t2):
+            if key in residents:
+                residents.remove(key)
+                return True
+        for ghosts in (self.b1, self.b2):
+            if key in ghosts:
+                ghosts.remove(key)
+        return False
+
+
+class TwoQOracle:
+    """Full 2Q per Johnson & Shasha VLDB '94, on plain lists.
+
+    ``a1in`` is the probation FIFO, ``a1out`` the ghost FIFO, ``am``
+    the hot LRU; all run head (index 0) -> tail.
+    """
+
+    def __init__(self, c: int) -> None:
+        self.c = c
+        self.k_in = max(1, c // 4)
+        self.k_out = max(1, c // 2)
+        self.a1in: List[Key] = []
+        self.a1out: List[Key] = []
+        self.am: List[Key] = []
+
+    def residents(self) -> List[Key]:
+        """Eviction-preference order: A1in (head first) then Am."""
+        return self.a1in + self.am
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self.a1in or key in self.am
+
+    def hit(self, key: Key) -> None:
+        if key in self.am:
+            self.am.remove(key)
+            self.am.append(key)
+        # A1in hit: do nothing (the paper's correlated-reference rule).
+
+    def _reclaimfor(self) -> Optional[Key]:
+        if len(self.a1in) + len(self.am) < self.c:
+            return None
+        if len(self.a1in) > self.k_in or not self.am:
+            victim = self.a1in.pop(0)
+            self.a1out.append(victim)
+            if len(self.a1out) > self.k_out:
+                self.a1out.pop(0)
+        else:
+            victim = self.am.pop(0)
+        return victim
+
+    def insert(self, key: Key) -> Optional[Key]:
+        victim = self._reclaimfor()
+        if key in self.a1out:
+            self.a1out.remove(key)
+            self.am.append(key)
+        else:
+            self.a1in.append(key)
+        return victim
+
+    def remove(self, key: Key) -> bool:
+        for residents in (self.a1in, self.am):
+            if key in residents:
+                residents.remove(key)
+                return True
+        if key in self.a1out:
+            self.a1out.remove(key)
+        return False

@@ -3,7 +3,14 @@
 import pytest
 
 from repro.mem import sram
-from repro.tlb.l2_shared import DistributedSharedTlb, MonolithicSharedTlb
+from repro.tlb.l2_shared import (
+    PREFETCH_CLASS,
+    PRIORITY,
+    SHOOTDOWN_CLASS,
+    WALK_CLASS,
+    DistributedSharedTlb,
+    MonolithicSharedTlb,
+)
 from repro.vm.address import PAGE_1G, PAGE_2M, PAGE_4K
 
 
@@ -132,3 +139,73 @@ def test_index_shift_spreads_consecutive_pages():
     # 64 consecutive pages = 16 per slice; all should be resident
     # because the index shift avoids piling them into one set.
     assert sum(s.occupancy for s in tlb.shards) == 64
+
+
+# ---------------------------------------------------------------------------
+# priority arbitration (shootdown > walk > prefetch service classes)
+
+
+def _prio(num_slices=4):
+    return DistributedSharedTlb(num_slices, 64, ways=4, arbitration=PRIORITY)
+
+
+def test_arbitration_mode_validated():
+    with pytest.raises(ValueError, match="arbitration"):
+        DistributedSharedTlb(4, 64, ways=4, arbitration="lottery")
+
+
+def test_priority_uncontended_matches_fifo():
+    """An uncontended access pays nothing regardless of class."""
+    fifo = DistributedSharedTlb(4, 64, ways=4)
+    prio = _prio()
+    for klass in (SHOOTDOWN_CLASS, WALK_CLASS, PREFETCH_CLASS):
+        now = 100 + 10 * klass
+        assert prio.reserve_read(0, now, klass) == fifo.reserve_read(0, now, klass) == now
+
+
+def test_priority_class0_contention_matches_fifo():
+    """Shootdown-class traffic arbitrates exactly like historical FIFO."""
+    fifo = DistributedSharedTlb(4, 64, ways=4)
+    prio = _prio()
+    fifo_starts = [fifo.reserve_write(0, 50, SHOOTDOWN_CLASS) for _ in range(3)]
+    prio_starts = [prio.reserve_write(0, 50, SHOOTDOWN_CLASS) for _ in range(3)]
+    assert fifo_starts == prio_starts == [50, 51, 52]
+
+
+def test_priority_contended_walk_pays_class_penalty():
+    prio = _prio()
+    assert prio.reserve_write(0, 100, SHOOTDOWN_CLASS) == 100
+    # The walk lost to the shootdown: +1 busy scan, +WALK_CLASS yield.
+    assert prio.reserve_write(0, 100, WALK_CLASS) == 101 + WALK_CLASS
+
+
+def test_priority_contended_prefetch_pays_more_than_walk():
+    walk_side = _prio()
+    prefetch_side = _prio()
+    walk_side.reserve_write(0, 100)
+    prefetch_side.reserve_write(0, 100)
+    walk = walk_side.reserve_write(0, 100, WALK_CLASS)
+    prefetch = prefetch_side.reserve_write(0, 100, PREFETCH_CLASS)
+    assert prefetch - walk == PREFETCH_CLASS - WALK_CLASS
+
+
+def test_priority_penalised_access_reskips_busy_cycles():
+    """After yielding, the loser takes the next genuinely free cycle."""
+    prio = _prio()
+    prio.reserve_write(0, 100)
+    prio.reserve_write(0, 102)  # occupies the cycle the penalty lands on
+    assert prio.reserve_write(0, 100, WALK_CLASS) == 103
+
+
+def test_fifo_mode_ignores_class_entirely():
+    fifo = DistributedSharedTlb(4, 64, ways=4)
+    fifo.reserve_write(0, 100)
+    assert fifo.reserve_write(0, 100, PREFETCH_CLASS) == 101
+
+
+def test_policy_threads_through_to_shards():
+    tlb = DistributedSharedTlb(4, 64, ways=4, policy="arc")
+    assert tlb.policy == "arc"
+    assert all(shard.policy == "arc" for shard in tlb.shards)
+    mono = MonolithicSharedTlb(256, num_banks=4, ways=4, policy="twoq")
+    assert all(bank.policy == "twoq" for bank in mono.shards)

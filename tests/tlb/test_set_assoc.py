@@ -170,3 +170,37 @@ def test_recent_distinct_inserts_within_way_count_always_hit(pages):
     for pn in pages:
         tlb.insert(1, PAGE_4K, pn)
     assert tlb.probe(1, PAGE_4K, pages[-1])
+
+
+# ---------------------------------------------------------------------------
+# probes are side-effect-free for every policy
+
+
+@pytest.mark.parametrize("policy", ["lru", "arc", "twoq"])
+def test_probe_interleave_does_not_perturb_state(policy):
+    """translate_only presence checks must not disturb replacement.
+
+    Two arrays see the same lookup/insert sequence; one additionally
+    fields a storm of ``probe``/``occupancy``/``iter_keys`` reads
+    between every step (the shootdown/QoS observation paths).  End
+    state must be identical — a probe that touched recency would make
+    invalidation sweeps perturb victim selection.
+    """
+    quiet = SetAssociativeTLB(16, 4, policy=policy)
+    probed = SetAssociativeTLB(16, 4, policy=policy)
+    pages = [0, 4, 8, 12, 0, 16, 4, 20, 8, 0, 24, 12, 28, 16, 0, 4]
+    for step, pn in enumerate(pages):
+        for tlb in (quiet, probed):
+            if not tlb.lookup(1, PAGE_4K, pn):
+                tlb.insert(1, PAGE_4K, pn)
+        # Observation storm on one array only: resident, absent, and
+        # other-ASID probes, plus the iteration-based observers.
+        probed.probe(1, PAGE_4K, pn)
+        probed.probe(1, PAGE_4K, 999 + step)
+        probed.probe(2, PAGE_4K, pn)
+        assert probed.occupancy == quiet.occupancy
+        list(probed.iter_keys())
+    assert list(probed.iter_keys()) == list(quiet.iter_keys())
+    assert (probed.hits, probed.misses, probed.evictions) == (
+        quiet.hits, quiet.misses, quiet.evictions
+    )
