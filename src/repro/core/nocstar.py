@@ -194,16 +194,23 @@ class NocstarInterconnect:
                 start += 1
         else:
             # Inlined _path_free for the dominant one-way case: no held
-            # links to police, so the free test is pure occupancy.
+            # links to police, so the free test is pure occupancy.  On a
+            # conflict, skip directly past the latest busy cycle in the
+            # candidate span: a setup is feasible only once every busy
+            # cycle of every link clears the span, so any viable start
+            # exceeds that cycle — the jump lands on the same first
+            # feasible start the cycle-by-cycle retry would find.
             while True:
                 span = range(start, start + duration)
                 for link in path:
                     occupied = occupancy.get(link)
-                    if occupied and not occupied.isdisjoint(span):
-                        break
+                    if occupied:
+                        busy = occupied.intersection(span)
+                        if busy:
+                            start = max(busy) + 1
+                            break
                 else:
                     break
-                start += 1
         retries = start - earliest
         span = range(start, start + duration)
         if hold:

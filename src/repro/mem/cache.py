@@ -119,19 +119,70 @@ class CacheHierarchy:
         self.llc = Cache("llc", llc_bytes_per_core * num_cores, 16, llc_decay_cycles)
         self.dram_accesses = 0
 
+    @staticmethod
+    def _probe(cache: Cache, line: int, now: int):
+        """Inlined Cache.lookup on a precomputed line address.
+
+        Returns the cache set on a miss (for the fill below — a missed
+        line is guaranteed absent, decayed entries having been deleted)
+        or ``None`` on a hit.  Counter/decay/LRU semantics match
+        ``Cache.lookup`` byte for byte.
+        """
+        sets = cache._sets
+        index = line % cache.num_sets
+        cache_set = sets.get(index)
+        if cache_set is None:
+            cache_set = sets[index] = OrderedDict()
+        stamp = cache_set.get(line)
+        if stamp is not None:
+            decay = cache.decay_cycles
+            if decay is not None and now - stamp > decay:
+                del cache_set[line]  # decayed: evicted by demand traffic
+            else:
+                cache_set.move_to_end(line)
+                cache_set[line] = now
+                cache.hits += 1
+                return None
+        cache.misses += 1
+        return cache_set
+
     def access(self, core: int, addr: int, now: int) -> tuple:
+        # Chained Cache.lookup/Cache.fill calls, inlined via _probe:
+        # walk traffic makes this the hottest simulator loop after the
+        # L2-TLB transaction, and the open-coded form computes the line
+        # address once and skips fill()'s membership test (a missed
+        # line is absent by _probe's contract, so a fill is a plain
+        # append with LRU eviction on a full set).
+        line = addr // LINE_BYTES
         lat = self.latencies
-        if self.l1[core].lookup(addr, now):
+        probe = self._probe
+        l1 = self.l1[core]
+        set1 = probe(l1, line, now)
+        if set1 is None:
             return "l1", lat.l1
-        if self.l2[core].lookup(addr, now):
-            self.l1[core].fill(addr, now)
+        l2 = self.l2[core]
+        set2 = probe(l2, line, now)
+        if set2 is None:
+            if len(set1) >= l1.ways:
+                set1.popitem(last=False)
+            set1[line] = now
             return "l2", lat.l2
-        if self.llc.lookup(addr, now):
-            self.l2[core].fill(addr, now)
-            self.l1[core].fill(addr, now)
-            return "llc", lat.llc
-        self.dram_accesses += 1
-        self.llc.fill(addr, now)
-        self.l2[core].fill(addr, now)
-        self.l1[core].fill(addr, now)
-        return "dram", lat.dram
+        llc = self.llc
+        set3 = probe(llc, line, now)
+        if set3 is None:
+            level = "llc"
+            cycles = lat.llc
+        else:
+            self.dram_accesses += 1
+            if len(set3) >= llc.ways:
+                set3.popitem(last=False)
+            set3[line] = now
+            level = "dram"
+            cycles = lat.dram
+        if len(set2) >= l2.ways:
+            set2.popitem(last=False)
+        set2[line] = now
+        if len(set1) >= l1.ways:
+            set1.popitem(last=False)
+        set1[line] = now
+        return level, cycles

@@ -96,36 +96,36 @@ class SmartNetwork:
         hpc = self.hpc_max
         npath = len(path)
         while index < npath:
+            # A cycle where the segment's first link is busy advances
+            # nothing (the flit waits at the router), so fast-forward
+            # to the first cycle that can make progress instead of
+            # rescanning the segment once per blocked cycle — under
+            # heavy contention near the monolithic tile that rescan
+            # made send() quadratic in the queueing delay.
+            first_occupied = occupancy[path[index]]
+            while t in first_occupied:
+                queued += 1
+                t += 1
             end = index + hpc
-            if end >= npath:
+            if end > npath:
                 end = npath
-                # Whole remainder in one segment: skip the slice copy
-                # (and the path itself when it fits in one bypass).
-                segment = path if index == 0 else path[index:]
-            else:
-                segment = path[index:end]
             # The bypass extends as far as contiguous free links allow;
             # advanced links are reserved as the scan passes them (they
             # are traversed this cycle even on a premature stop), so
             # check and reservation share one loop — the model's
             # innermost.
-            advanced = 0
-            for link in segment:
-                occupied = occupancy[link]
+            i = index
+            while i < end:
+                occupied = occupancy[path[i]]
                 if t in occupied:
                     break
                 occupied.add(t)
-                advanced += 1
-            if advanced == 0:
-                # Blocked at the router: retry the next cycle.
-                queued += 1
-                t += 1
-                continue
+                i += 1
             t += 1  # the bypass segment crosses in one cycle
-            if advanced == end - index:
+            if i == end:
                 index = end
             else:
-                index += advanced
+                index = i
                 # Premature stop: latched at an intermediate router.
                 stops += 1
                 t += 1  # router traversal + re-arbitration

@@ -302,6 +302,55 @@ register_config(
 )
 
 
+#: Mega-mesh lineup (ROADMAP item 1): the paper's schemes scaled to
+#: 256-1024 tiles, the regime the vectorized engine exists for.  Each
+#: name pins its core count — "distributed-1024" with 64 cores would
+#: silently bench the wrong machine, so a mismatch raises instead.
+MEGA_CORE_COUNTS = (256, 512, 1024)
+
+
+def _register_mega(base: str, cores: int, factory: ConfigFactory) -> None:
+    name = f"{base}-{cores}"
+
+    def mega(num_cores: int = cores, **overrides) -> SystemConfig:
+        if num_cores != cores:
+            raise ValueError(
+                f"{name} pins num_cores={cores}, got {num_cores}"
+            )
+        _validate_mesh_geometry(name, cores)
+        return factory(cores, **overrides).renamed(name)
+
+    register_config(name, mega)
+
+
+def _validate_mesh_geometry(name: str, num_tiles: int) -> None:
+    """Reject degenerate mega meshes before a System is built.
+
+    The topology folds any tile count into the most-square rows x cols
+    grid; a mega configuration additionally requires an aspect ratio of
+    at most 2 (256=16x16, 512=16x32, 1024=32x32) so hop counts stay in
+    the regime the paper's latency model was fitted for.
+    """
+    from repro.noc.topology import MeshTopology
+
+    topo = MeshTopology(num_tiles)
+    if topo.cols > 2 * topo.rows:
+        raise ValueError(
+            f"{name}: {num_tiles} tiles folds to a degenerate "
+            f"{topo.cols}x{topo.rows} mesh (aspect ratio > 2)"
+        )
+
+
+for _cores in MEGA_CORE_COUNTS:
+    _register_mega("distributed", _cores, distributed)
+    _register_mega("nocstar", _cores, nocstar)
+    _register_mega(
+        "monolithic-smart",
+        _cores,
+        lambda n, **o: monolithic(n, noc=SMART, **o),
+    )
+
+
 def paper_lineup(num_cores: int, **overrides) -> Tuple[SystemConfig, ...]:
     """The four-way comparison of Figs 12-14: Mon/Dist/NOCSTAR/Ideal.
 

@@ -31,16 +31,25 @@ study.
 
 from __future__ import annotations
 
+import gc
 import heapq
 import weakref
 from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.faults.models import FaultPlan, FaultSpec, derive_seed
 from repro.noc.route_cache import reference_mode
 from repro.obs import NULL_SINK, EventTrace, MetricsSink
 from repro.sim import configs as cfg
+from repro.sim.engine_vec import (
+    VECTORIZED_ENV,
+    bulk_fill_compile_cache,
+    make_lean_transaction,
+    vectorized_wanted,
+)
 from repro.sim.results import RunResult
 from repro.sim.system import System
 from repro.vm.address import PAGE_4K
@@ -239,9 +248,15 @@ def simulate(
         # miss sequence is stream-determined, so hit runs advance in one
         # bisect per heap pop.  Bit-identical to the reference loop (the
         # differential harness is the proof), so ENGINE_VERSION stays.
-        finishes = _drive_batched(
-            system, workload, quantum, sink, watchdog_cycles
-        )
+        # At mega-mesh scale (or when forced via REPRO_VECTORIZED_ENGINE)
+        # the vectorized variant applies — same results, numpy compile
+        # and expiry-free scheduling (see repro.sim.engine_vec).
+        if vectorized_wanted(config, watchdog_cycles):
+            finishes = _drive_vectorized(system, workload, quantum, sink)
+        else:
+            finishes = _drive_batched(
+                system, workload, quantum, sink, watchdog_cycles
+            )
     else:
         finishes = _drive_reference(
             system, workload, quantum, storm, shootdown, sink,
@@ -438,7 +453,9 @@ def _compile_core(streams, arrays) -> _CompiledCore:
             last_size = size
         cache_set = sets[(page_number >> shift) % num_sets]
         key = (asid, size, page_number)
-        if key in cache_set:
+        # A lazily-constructed set (None) is empty: always a miss, and
+        # insert() below materialises it through _set_for.
+        if cache_set is not None and key in cache_set:
             cache_set.move_to_end(key)
             counts[0] += 1
             continue
@@ -593,6 +610,127 @@ def _drive_batched(
             cc.pos = cut
             heapq.heappush(heap, (t + prefix[cut] - base, core))
 
+    return [cc.finish or 0 for cc in compiled]
+
+
+def _drive_vectorized(
+    system: System,
+    workload: Workload,
+    quantum: int,
+    sink,
+) -> List[int]:
+    """Mega-mesh drive loop; bit-identical to the batched loop.
+
+    Three scalar hot spots of ``_drive_batched`` are restructured for
+    256-1024 tile meshes (see :mod:`repro.sim.engine_vec`):
+
+    * the compile pre-pass runs once over column-stacked ``(core,
+      record)`` arrays, stepping every core's L1 LRU state in lockstep,
+      and fills the ordinary compile cache — a later batched run on the
+      same workload replays it for free, and vice versa;
+    * quantum-expiry heap traffic disappears: with ``pending_penalty``
+      pinned at zero (no storms/shootdowns/remote-PTW — the dispatch
+      gate) expiry pops are pure bookkeeping, so each core's next
+      transaction call time is computed directly with the batched
+      loop's own windowed bisect, and a numpy argmin/cohort scan over
+      the call-time vector reproduces the heap's ``(t, core)`` order;
+    * eligible mesh-distributed configs resolve each transaction
+      through an inlined flat-table path over the live slice/port/
+      walker state (``make_lean_transaction``); everything else uses
+      ``System.l2_transaction`` unchanged.
+    """
+    num_cores = system.config.num_cores
+    bulk_fill_compile_cache(
+        workload, system.l1s, _compile_cache_for(workload)
+    )  # best-effort: on False the per-core scalar compile below applies
+    compiled = [
+        _compile_core_cached(
+            workload, core, {size: l1.array(size) for size in l1._arrays}
+        )
+        for core, l1 in enumerate(system.l1s)
+    ]
+    l2_transaction = system.l2_transaction
+    finalize = None
+    lean = make_lean_transaction(system, sink)
+    if lean is not None:
+        l2_transaction, finalize = lean
+    observed = sink.enabled
+    observe = sink.observe
+    event = sink.event
+
+    idle = 1 << 62  # sentinel call time for finished cores
+    call_times = np.full(num_cores, idle, dtype=np.int64)
+    pending_miss: List[Optional[Tuple[int, int, int]]] = [None] * num_cores
+    pending_time = [0] * num_cores
+
+    def schedule(core: int, cc: _CompiledCore, t: int) -> bool:
+        """Advance ``core`` from resume time ``t`` to its next call.
+
+        Replays the batched loop's quantum windows (expiry hops) until
+        the window containing the next miss — or the end of the stream
+        — is reached; expiry pops touch nothing observable, so only the
+        resulting transaction call time matters.  Returns False when
+        the core finished.
+        """
+        prefix = cc.prefix
+        count = cc.count
+        pos = cc.pos
+        mi = cc.mi
+        miss_pos = cc.miss_pos
+        miss = miss_pos[mi] if mi < len(miss_pos) else None
+        base = prefix[pos]
+        while True:
+            cut = bisect_left(prefix, base + quantum, pos, count + 1)
+            if miss is not None and miss < cut:
+                cc.pos = miss + 1
+                cc.mi = mi + 1
+                pending_miss[core] = cc.miss_rec[mi]
+                pending_time[core] = t + prefix[miss + 1] - base
+                call_times[core] = t
+                return True
+            if cut == count + 1:
+                cc.pos = count
+                cc.finish = t + prefix[count] - base
+                call_times[core] = idle
+                return False
+            t += prefix[cut] - base
+            pos = cut
+            base = prefix[cut]
+
+    active = 0
+    for core in range(num_cores):
+        if schedule(core, compiled[core], 0):
+            active += 1
+
+    # The drive loop allocates heavily (keys, port dicts, walk tuples)
+    # but creates no reference cycles, so generational collections scan
+    # hundreds of thousands of live simulator objects to reclaim almost
+    # nothing.  Pause collection for the loop; allocations are still
+    # freed by refcounting, and cycles (if any) collect on re-enable.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        while active:
+            frontier = call_times.min()
+            # All transactions called at the frontier cycle, in core
+            # order — exactly the heap's (t, core) tie-break.
+            for core in np.flatnonzero(call_times == frontier).tolist():
+                cc = compiled[core]
+                t_miss = pending_time[core]
+                asid, size, page_number = pending_miss[core]
+                if observed:
+                    event(t_miss, "l1_lookup", core=core, hit=False)
+                stall = l2_transaction(core, asid, size, page_number, t_miss)
+                if observed:
+                    observe("translation.stall_cycles", stall)
+                if not schedule(core, cc, t_miss + stall):
+                    active -= 1
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    if finalize is not None:
+        finalize()
     return [cc.finish or 0 for cc in compiled]
 
 

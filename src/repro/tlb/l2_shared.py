@@ -116,7 +116,7 @@ class _ShardedTlb:
         self.shards: List[SetAssociativeTLB] = [
             SetAssociativeTLB(
                 self.entries_per_shard, ways, f"{name}[{i}]",
-                index_shift=shift, policy=policy,
+                index_shift=shift, policy=policy, lazy_sets=True,
             )
             for i in range(num_shards)
         ]
@@ -251,7 +251,15 @@ class MonolithicSharedTlb(_ShardedTlb):
 
     @staticmethod
     def banks_for(num_cores: int) -> int:
-        """The paper's best-performing banking: 4 banks at 16/32 cores, 8 at 64+."""
+        """The paper's best-performing banking: 4 banks at 16/32 cores, 8 at 64+.
+
+        Beyond the paper's 64-core ceiling the banking keeps scaling at
+        the same cores-per-bank ratio (one bank per 8 cores, capped at
+        32) so mega-mesh monolithic configs don't serialise a thousand
+        cores behind 8 ports.  Counts at <=64 cores are untouched.
+        """
+        if num_cores >= 256:
+            return min(32, num_cores // 8)
         return 8 if num_cores >= 64 else 4
 
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional, Tuple
 
-from repro.tlb.policies import make_policy
+from repro.tlb.policies import POLICIES, make_policy
 
 Key = Tuple[int, int, int]  # (asid, page_size, page_number)
 
@@ -36,6 +36,7 @@ class SetAssociativeTLB:
         name: str = "tlb",
         index_shift: int = 0,
         policy: str = "lru",
+        lazy_sets: bool = False,
     ) -> None:
         if entries <= 0 or ways <= 0:
             raise ValueError("entries and ways must be positive")
@@ -51,7 +52,24 @@ class SetAssociativeTLB:
         self.num_sets = entries // ways
         self.index_shift = index_shift
         self.policy = policy
-        self._sets = [make_policy(policy, ways) for _ in range(self.num_sets)]
+        # Hoist the registry dispatch out of the per-set loop: a
+        # 1024-tile system builds ~10^5 sets, and the mega-mesh configs
+        # pay this at every System construction.
+        state_cls = POLICIES.get(policy)
+        if state_cls is None:
+            make_policy(policy, ways)  # raises the canonical KeyError
+        self._state_cls = state_cls
+        # ``lazy_sets`` defers per-set state construction until a set is
+        # first indexed.  A fresh policy state observes nothing until
+        # touched, so laziness is invisible to replacement behaviour;
+        # aggregate views below simply skip unmaterialised sets, and
+        # code that indexes ``_sets`` directly treats ``None`` as an
+        # empty set.  The mega-mesh L2 slices and L1 arrays (10^5+
+        # sets, mostly cold at 1024 tiles) opt in.
+        if lazy_sets:
+            self._sets = [None] * self.num_sets
+        else:
+            self._sets = [state_cls(ways) for _ in range(self.num_sets)]
         self.hits = 0
         self.misses = 0
         self.insertions = 0
@@ -63,7 +81,11 @@ class SetAssociativeTLB:
         self.way_quota: Optional[int] = None
 
     def _set_for(self, page_number: int):
-        return self._sets[(page_number >> self.index_shift) % self.num_sets]
+        index = (page_number >> self.index_shift) % self.num_sets
+        cache_set = self._sets[index]
+        if cache_set is None:
+            cache_set = self._sets[index] = self._state_cls(self.ways)
+        return cache_set
 
     def lookup(self, asid: int, page_size: int, page_number: int) -> bool:
         """Probe the array; hits refresh replacement state."""
@@ -123,18 +145,25 @@ class SetAssociativeTLB:
 
     def invalidate_asid(self, asid: int) -> int:
         """Drop every translation belonging to ``asid`` (context teardown)."""
-        return sum(cache_set.purge_asid(asid) for cache_set in self._sets)
+        return sum(
+            cache_set.purge_asid(asid)
+            for cache_set in self._sets
+            if cache_set is not None
+        )
 
     def flush(self) -> int:
         """Drop everything (full-TLB flush on context switch, §V storms)."""
         dropped = self.occupancy
         for cache_set in self._sets:
-            cache_set.clear()
+            if cache_set is not None:
+                cache_set.clear()
         return dropped
 
     @property
     def occupancy(self) -> int:
-        return sum(len(cache_set) for cache_set in self._sets)
+        return sum(
+            len(cache_set) for cache_set in self._sets if cache_set is not None
+        )
 
     @property
     def accesses(self) -> int:
@@ -142,7 +171,8 @@ class SetAssociativeTLB:
 
     def iter_keys(self) -> Iterator[Key]:
         for cache_set in self._sets:
-            yield from cache_set.members()
+            if cache_set is not None:
+                yield from cache_set.members()
 
     def reset_stats(self) -> None:
         self.hits = self.misses = self.insertions = self.evictions = 0

@@ -50,6 +50,11 @@ class PageTable:
         # (asid, level_depth, node_index_path) -> physical frame base.
         self._nodes: Dict[Tuple[int, int, Tuple[int, ...]], int] = {}
         self._ptes: Dict[Tuple[int, int, int], PTE] = {}
+        # (asid, page_size, page_number) -> (walk addresses, PTE); see
+        # walk_info.  Invalidated by unmap.
+        self._walk_info: Dict[
+            Tuple[int, int, int], Tuple[Tuple[int, ...], PTE]
+        ] = {}
         self._next_frame = 1  # frame 0 reserved
         self.nodes_allocated = 0
         self.pages_mapped = 0
@@ -109,6 +114,38 @@ class PageTable:
             addresses.append(frame + indices[level] * ENTRY_BYTES)
         return addresses
 
+    def walk_info(self, asid: int, vpn: int, page_size: int) -> Tuple[Tuple[int, ...], PTE]:
+        """Walk addresses plus the PTE, memoised per translation.
+
+        Both are pure functions of ``(asid, page_size, page_number)``
+        once the mapping exists: the node chain is stable after
+        materialisation, and only the radix indices above the leaf
+        depth — all determined by the page number — feed the address
+        computation.  The first touch performs exactly the walker's
+        historical call sequence (``walk_addresses`` then ``map_page``),
+        so frame-allocation order — and with it every synthetic
+        physical address — is unchanged.
+        """
+        key = (asid, page_size, translation_vpn(vpn, page_size))
+        info = self._walk_info.get(key)
+        if info is None:
+            addresses = tuple(self.walk_addresses(asid, vpn, page_size))
+            pte = self._ptes.get(key)
+            if pte is None:
+                # map_page's body minus its node materialisation — the
+                # walk_addresses call above already allocated the node
+                # chain, so allocation order (nodes, then data frame)
+                # matches the historical call sequence exactly.
+                ppn = self._allocate_frame() >> PAGE_SHIFT_4K
+                pte = self._ptes[key] = PTE(
+                    ppn=ppn, page_size=page_size, asid=asid
+                )
+                self.pages_mapped += 1
+            info = self._walk_info[key] = (addresses, pte)
+        return info
+
     def unmap(self, asid: int, vpn: int, page_size: int) -> None:
         """Drop a translation (page remapping / demotion)."""
-        self._ptes.pop((asid, page_size, translation_vpn(vpn, page_size)), None)
+        key = (asid, page_size, translation_vpn(vpn, page_size))
+        self._ptes.pop(key, None)
+        self._walk_info.pop(key, None)

@@ -87,8 +87,10 @@ class PageTableWalker:
         self, core: int, asid: int, vpn: int, page_size: int, now: int
     ) -> WalkResult:
         """Perform a serial walk at ``core``; returns latency and the PTE."""
-        addresses = self.page_table.walk_addresses(asid, vpn, page_size)
+        addresses, pte = self.page_table.walk_info(asid, vpn, page_size)
         pwc = self.pwcs[core]
+        level_hits = self.level_hits
+        access = self.hierarchy.access
         latency = 0
         pollution = 0
         levels = []
@@ -98,18 +100,17 @@ class PageTableWalker:
             if depth < last and pwc.lookup(addr):
                 latency += self.PWC_HIT_CYCLES
                 levels.append("pwc")
-                self.level_hits["pwc"] += 1
+                level_hits["pwc"] += 1
                 continue
-            level, cycles = self.hierarchy.access(core, addr, now + latency)
+            level, cycles = access(core, addr, now + latency)
             latency += cycles
             levels.append(level)
-            self.level_hits[level] += 1
+            level_hits[level] += 1
             if level != "l1":
                 pollution += 1
             if depth < last:
                 pwc.fill(addr)
         self.walks += 1
-        pte = self.page_table.lookup(asid, vpn, page_size)
         if self.sink.enabled:
             self.sink.observe("walk.latency", latency)
             self.sink.event(now, "walk_begin", core=core, vpn=vpn)
@@ -119,6 +120,35 @@ class PageTableWalker:
         return WalkResult(
             latency=latency, pte=pte, levels=tuple(levels), pollution=pollution
         )
+
+    def walk_cycles(
+        self, core: int, asid: int, vpn: int, page_size: int, now: int
+    ) -> int:
+        """:meth:`walk` minus the per-walk result object and trace.
+
+        Identical caching/counter side effects and latency; skips the
+        ``WalkResult``/levels-tuple construction, pollution tally, and
+        sink events.  For engine fast paths that run with observability
+        disabled and never read pollution (requester-side PTW only).
+        """
+        addresses, _ = self.page_table.walk_info(asid, vpn, page_size)
+        pwc = self.pwcs[core]
+        level_hits = self.level_hits
+        access = self.hierarchy.access
+        latency = 0
+        last = len(addresses) - 1
+        for depth, addr in enumerate(addresses):
+            if depth < last and pwc.lookup(addr):
+                latency += self.PWC_HIT_CYCLES
+                level_hits["pwc"] += 1
+                continue
+            level, cycles = access(core, addr, now + latency)
+            latency += cycles
+            level_hits[level] += 1
+            if depth < last:
+                pwc.fill(addr)
+        self.walks += 1
+        return latency
 
 
 class FixedLatencyWalker:
@@ -143,6 +173,19 @@ class FixedLatencyWalker:
             now + self.latency, "walk_end", core=core, latency=self.latency
         )
         return WalkResult(latency=self.latency, pte=pte, levels=("fixed",))
+
+    def walk_cycles(
+        self, core: int, asid: int, vpn: int, page_size: int, now: int
+    ) -> int:
+        """Latency-only variant matching :meth:`PageTableWalker.walk_cycles`."""
+        self.walks += 1
+        self.page_table.lookup(asid, vpn, page_size)
+        self.sink.observe("walk.latency", self.latency)
+        self.sink.event(now, "walk_begin", core=core, vpn=vpn)
+        self.sink.event(
+            now + self.latency, "walk_end", core=core, latency=self.latency
+        )
+        return self.latency
 
 
 @dataclass

@@ -71,6 +71,52 @@ def test_golden_64_cores(workload_64, name, cycles, misses):
     assert result.stats.l2_misses == misses
 
 
+# Mega-mesh pins: the 256/512/1024-tile configs the vectorized engine
+# targets (ROADMAP item 1), mirroring the 64-core pins.  Per-core depth
+# shrinks with scale to keep the suite fast — mega streams are cold-miss
+# dominated, so even short traces exercise every slice and the walker.
+# Derived with the same helper.
+GOLDEN_MEGA = [
+    ("distributed-256", 4434, 5177),
+    ("nocstar-256", 3926, 5177),
+    ("monolithic-smart-256", 10344, 5177),
+    ("distributed-512", 3517, 6703),
+    ("nocstar-512", 3277, 6703),
+    ("monolithic-smart-512", 12744, 6703),
+    ("distributed-1024", 2943, 7598),
+    ("nocstar-1024", 2462, 7598),
+    ("monolithic-smart-1024", 14168, 7598),
+]
+
+MEGA_ACCESSES = {256: 25, 512: 15, 1024: 8}
+
+
+@pytest.fixture(scope="module")
+def mega_workloads():
+    return {
+        cores: build_multithreaded(
+            get_workload("graph500"), cores,
+            accesses_per_core=accesses, seed=21,
+        )
+        for cores, accesses in MEGA_ACCESSES.items()
+    }
+
+
+@pytest.mark.parametrize("name,cycles,misses", GOLDEN_MEGA)
+def test_golden_mega_mesh(mega_workloads, name, cycles, misses):
+    cores = int(name.rsplit("-", 1)[1])
+    result = simulate(cfg.build_config(name, cores), mega_workloads[cores])
+    assert result.cycles == cycles
+    assert result.stats.l2_misses == misses
+
+
+def test_mega_goldens_cover_every_mega_config():
+    registered = {
+        n for n in cfg.available_configs() if n.rsplit("-", 1)[-1].isdigit()
+    }
+    assert registered == {g[0] for g in GOLDEN_MEGA}
+
+
 # Replacement-policy zoo pins, taken at the area-constrained operating
 # point (128 entries/core) where the replacement choice actually moves
 # the numbers: campaign-scale canneal fits the stock 1024-entry slices,

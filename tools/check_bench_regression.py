@@ -17,6 +17,9 @@ instead of silently shifting the committed trajectory:
   time; lower is better);
 * ``BENCH_sweep.json``  — ``after_seconds`` (trace-store sweep wall
   time);
+* ``BENCH_scale.json``  — ``scale_ratio`` (1024-core vectorized wall
+  time over the 64-core batched anchor; interleaved best-of-N, so the
+  ratio cancels machine speed and only engine drift moves it);
 * ``BENCH_serve.json``  — ``p95_seconds`` (serving-tier tail latency
   under 256 concurrent clients);
 * ``BENCH_faults.json`` — fault-free ``cycles`` (rate-0 point; the
@@ -37,10 +40,11 @@ import subprocess
 import sys
 from typing import Dict, List, Optional, Tuple
 
-#: Default artefact set (all four guards), relative to the repo root.
+#: Default artefact set (all five guards), relative to the repo root.
 DEFAULT_FILES = (
     "benchmarks/results/BENCH_engine.json",
     "benchmarks/results/BENCH_sweep.json",
+    "benchmarks/results/BENCH_scale.json",
     "benchmarks/results/BENCH_serve.json",
     "benchmarks/results/BENCH_faults.json",
 )
@@ -59,6 +63,8 @@ def extract_metric(basename: str, payload: Dict) -> Tuple[str, float]:
         return "batched_seconds", float(payload["batched_seconds"])
     if basename == "BENCH_sweep.json":
         return "after_seconds", float(payload["after_seconds"])
+    if basename == "BENCH_scale.json":
+        return "scale_ratio", float(payload["scale_ratio"])
     if basename == "BENCH_serve.json":
         return "p95_seconds", float(payload["p95_seconds"])
     if basename == "BENCH_faults.json":
@@ -154,7 +160,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "files",
         nargs="*",
         default=list(DEFAULT_FILES),
-        help="fresh artefacts to check (default: all four guards)",
+        help="fresh artefacts to check (default: all five guards)",
     )
     parser.add_argument(
         "--threshold",
